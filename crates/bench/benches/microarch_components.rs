@@ -1,0 +1,123 @@
+//! Micro-benchmarks of the simulator substrates: branch prediction, cache
+//! lookups, issue-queue management, the Attack/Decay control step and
+//! workload generation.  These quantify where the simulator spends its time
+//! and act as performance-regression guards for the building blocks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcd_clock::{DomainId, OperatingPointTable, SyncWindow};
+use mcd_control::{AttackDecayController, AttackDecayParams, DomainSample, FrequencyController, IntervalSample};
+use mcd_isa::{InstructionStream, OpClass};
+use mcd_microarch::{BranchPredictor, Cache, CacheConfig, IssueQueue};
+use mcd_workloads::{Benchmark, WorkloadGenerator};
+
+fn bench_branch_predictor(c: &mut Criterion) {
+    c.bench_function("bpred_predict_update_1k", |b| {
+        let mut bp = BranchPredictor::default();
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                let pc = 0x4000 + (i % 64) * 4;
+                let pred = bp.predict(pc, OpClass::BranchCond);
+                bp.update(pc, OpClass::BranchCond, pred, i % 3 != 0, pc + 64);
+            }
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("l1d_access_1k", |b| {
+        let mut cache = Cache::new(CacheConfig::l1_64k_2way());
+        let mut addr = 0u64;
+        b.iter(|| {
+            for _ in 0..1_000 {
+                addr = (addr + 8) % (128 * 1024);
+                black_box(cache.access(addr, false));
+            }
+        })
+    });
+}
+
+fn bench_issue_queue(c: &mut Criterion) {
+    c.bench_function("issue_queue_churn_1k", |b| {
+        b.iter(|| {
+            let mut q = IssueQueue::new(20);
+            for i in 0..1_000u64 {
+                let _ = q.insert(i, 0);
+                q.accumulate_occupancy();
+                if i >= 19 {
+                    q.remove(i - 19);
+                }
+            }
+            q.take_average_occupancy()
+        })
+    });
+}
+
+fn bench_attack_decay_step(c: &mut Criterion) {
+    c.bench_function("attack_decay_interval_update_1k", |b| {
+        let table = OperatingPointTable::default();
+        let mut ctrl = AttackDecayController::new(AttackDecayParams::paper_defaults(), &table);
+        let mk = |domain, util| DomainSample {
+            domain,
+            queue_utilization: util,
+            domain_cycles: 10_000,
+            busy_cycles: 5_000,
+            issued_instructions: 8_000,
+            freq_mhz: 1_000.0,
+        };
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                let util = 4.0 + (i % 7) as f64;
+                let sample = IntervalSample {
+                    interval: i,
+                    instructions: 10_000,
+                    frontend_cycles: 12_000,
+                    ipc: 0.8,
+                    domains: vec![
+                        mk(DomainId::Integer, util),
+                        mk(DomainId::FloatingPoint, util / 4.0),
+                        mk(DomainId::LoadStore, util * 2.0),
+                    ],
+                };
+                black_box(ctrl.interval_update(&sample));
+            }
+        })
+    });
+}
+
+fn bench_sync_window(c: &mut Criterion) {
+    c.bench_function("sync_window_capture_1k", |b| {
+        let sync = SyncWindow::default();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000u64 {
+                acc += sync.capture_time(i * 37, i * 41 % 5_000, 1_000 + (i % 3) * 333);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    c.bench_function("workload_generate_10k_insts", |b| {
+        let spec = Benchmark::Epic.spec();
+        b.iter(|| {
+            let mut generator = WorkloadGenerator::new(&spec, 42, 10_000);
+            let mut count = 0u64;
+            while generator.next_inst().is_some() {
+                count += 1;
+            }
+            count
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_branch_predictor,
+    bench_cache,
+    bench_issue_queue,
+    bench_attack_decay_step,
+    bench_sync_window,
+    bench_workload_generation
+);
+criterion_main!(benches);

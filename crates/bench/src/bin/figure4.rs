@@ -1,0 +1,20 @@
+//! Regenerates Figure 4(a-c): per-application performance degradation,
+//! energy savings and energy-delay-product improvement for the baseline
+//! MCD, Dynamic-1%, Dynamic-5% and Attack/Decay configurations, all
+//! referenced to the fully synchronous processor.
+
+use mcd_bench::{settings_from_env, write_artifact};
+use mcd_core::experiments::figure4;
+
+fn main() {
+    let settings = settings_from_env();
+    eprintln!(
+        "Running Figure 4 on {} benchmarks, {} instructions each ...",
+        settings.benchmarks.len(),
+        settings.instructions
+    );
+    let fig = figure4::run(&settings);
+    let text = fig.render();
+    println!("{text}");
+    write_artifact("figure4.txt", &text);
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 5: achieved performance degradation and EDP
+//! improvement versus the performance-degradation target
+//! (PerfDegThreshold sweep, legend 1.000_06.0_1.250_X.X).
+
+use mcd_bench::{settings_from_env, write_artifact};
+use mcd_core::experiments::sensitivity;
+
+fn main() {
+    let settings = settings_from_env();
+    let full = std::env::var("MCD_FULL").map(|v| v == "1").unwrap_or(false);
+    let points: Vec<f64> = if full {
+        vec![0.0, 0.01, 0.02, 0.03, 0.04, 0.06, 0.08, 0.10, 0.12]
+    } else {
+        vec![0.0, 0.025, 0.06, 0.12]
+    };
+    let sweep = sensitivity::sweep_perf_deg_target(&settings, &points);
+    let text = sweep.render();
+    println!("Figure 5. Performance-degradation target analysis\n{text}");
+    write_artifact("figure5.txt", &text);
+}

@@ -1,0 +1,20 @@
+//! Regenerates Table 6: Attack/Decay vs Dynamic-1% vs Dynamic-5% vs global
+//! voltage scaling, relative to the baseline MCD processor.
+//!
+//! Run with `MCD_FULL=1` for the full 30-benchmark suite.
+
+use mcd_bench::{settings_from_env, write_artifact};
+use mcd_core::experiments::table6;
+
+fn main() {
+    let settings = settings_from_env();
+    eprintln!(
+        "Running Table 6 on {} benchmarks, {} instructions each ...",
+        settings.benchmarks.len(),
+        settings.instructions
+    );
+    let table = table6::run(&settings);
+    let text = table.render();
+    println!("Table 6. Comparison of algorithms (relative to the baseline MCD processor;\nGlobal rows are relative to the fully synchronous processor)\n{text}");
+    write_artifact("table6.txt", &text);
+}

@@ -1,0 +1,95 @@
+//! # mcd-bench
+//!
+//! Benchmark harness and figure/table regeneration utilities for the MCD
+//! DVFS reproduction.
+//!
+//! Two kinds of targets live in this crate:
+//!
+//! * **Binaries** (`src/bin/*`) — one per paper artefact.  Each regenerates
+//!   the corresponding table or figure and writes both a human-readable
+//!   rendering to stdout and a CSV file under `results/`:
+//!   `paper_tables`, `table6`, `figure2_3`, `figure4`, `figure5`,
+//!   `figure6_7`.
+//! * **Criterion benches** (`benches/*`) — one per paper artefact plus a
+//!   micro-benchmark suite of the simulator substrates.  Each bench prints
+//!   the regenerated rows once (with reduced settings so `cargo bench`
+//!   stays tractable) and then measures the cost of the underlying
+//!   simulation kernel.
+//!
+//! Setting the environment variable `MCD_FULL=1` makes the binaries run the
+//! full 30-benchmark suite with the longer windows used for EXPERIMENTS.md;
+//! the default is a quick cross-suite subset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use mcd_core::experiments::ExperimentSettings;
+
+/// Returns the experiment settings selected by the `MCD_FULL` environment
+/// variable: the paper's full suite when set to `1`, otherwise the quick
+/// subset.
+pub fn settings_from_env() -> ExperimentSettings {
+    if std::env::var("MCD_FULL").map(|v| v == "1").unwrap_or(false) {
+        ExperimentSettings::paper()
+    } else {
+        ExperimentSettings::quick()
+    }
+}
+
+/// A reduced settings preset used inside Criterion measurement loops so
+/// that a single iteration stays in the tens-of-milliseconds range.
+pub fn criterion_settings() -> ExperimentSettings {
+    ExperimentSettings::quick()
+        .with_benchmarks(vec![
+            mcd_workloads::Benchmark::Adpcm,
+            mcd_workloads::Benchmark::Gzip,
+        ])
+        .with_instructions(20_000)
+}
+
+/// The directory where the regeneration binaries drop their CSV output
+/// (`<workspace>/results`), created on demand.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("MCD_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let path = PathBuf::from(dir);
+    std::fs::create_dir_all(&path).expect("results directory is writable");
+    path
+}
+
+/// Writes a text artefact into the results directory and echoes the path.
+pub fn write_artifact(name: &str, contents: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    std::fs::write(&path, contents).expect("artifact file is writable");
+    println!("[wrote {}]", path.display());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_settings_are_the_default() {
+        std::env::remove_var("MCD_FULL");
+        let s = settings_from_env();
+        assert!(s.benchmarks.len() < 30);
+        assert!(s.instructions <= 100_000);
+    }
+
+    #[test]
+    fn criterion_settings_are_small() {
+        let s = criterion_settings();
+        assert_eq!(s.benchmarks.len(), 2);
+        assert_eq!(s.instructions, 20_000);
+    }
+
+    #[test]
+    fn artifacts_are_written_to_disk() {
+        std::env::set_var("MCD_RESULTS_DIR", std::env::temp_dir().join("mcd-bench-test"));
+        let path = write_artifact("unit-test.txt", "hello");
+        assert!(path.exists());
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "hello");
+    }
+}

@@ -1,0 +1,320 @@
+//! Jittered per-domain clock generation.
+//!
+//! Section 4 of the paper: "we account for the fact that the clocks driving
+//! each domain are independent by modeling independent jitter on a
+//! cycle-by-cycle basis.  Our model assumes a normal distribution of jitter
+//! with a mean of zero [sigma 110 ps].  Initially, all clock starting times
+//! are randomized.  To determine the time of the next clock pulse in a
+//! domain, the domain cycle time is added to the starting time, and the
+//! jitter for that cycle is obtained from the distribution and added to
+//! this sum."
+//!
+//! [`DomainClock`] reproduces that scheme: it tracks the absolute time of
+//! the next rising edge of one domain, adding the (possibly ramping) period
+//! plus a per-edge jitter sample on every advance.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::domain::DomainId;
+use crate::ramp::FrequencyRamp;
+use crate::{MegaHertz, TimePs};
+
+/// Zero-mean normal jitter source (Box–Muller over the platform PRNG).
+///
+/// Samples are clamped to plus/minus three standard deviations so that a
+/// pathological draw can never produce a non-causal (negative-period) edge.
+#[derive(Debug, Clone)]
+pub struct JitterModel {
+    sigma_ps: f64,
+    rng: StdRng,
+    /// Box–Muller produces pairs; the spare sample is cached here.
+    spare: Option<f64>,
+}
+
+impl JitterModel {
+    /// Creates a jitter model with the given standard deviation (in
+    /// picoseconds) and RNG seed.  A sigma of zero disables jitter.
+    pub fn new(sigma_ps: f64, seed: u64) -> Self {
+        assert!(sigma_ps >= 0.0, "jitter sigma must be non-negative");
+        JitterModel {
+            sigma_ps,
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// The configured standard deviation in picoseconds.
+    pub fn sigma_ps(&self) -> f64 {
+        self.sigma_ps
+    }
+
+    /// Draws one jitter sample in picoseconds (may be negative).
+    pub fn sample_ps(&mut self) -> f64 {
+        if self.sigma_ps == 0.0 {
+            return 0.0;
+        }
+        let z = match self.spare.take() {
+            Some(z) => z,
+            None => {
+                // Box–Muller transform.
+                let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = self.rng.gen_range(0.0..1.0);
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f64::consts::PI * u2;
+                self.spare = Some(r * theta.sin());
+                r * theta.cos()
+            }
+        };
+        (z * self.sigma_ps).clamp(-3.0 * self.sigma_ps, 3.0 * self.sigma_ps)
+    }
+}
+
+/// The clock generator of one domain.
+///
+/// The clock owns a [`FrequencyRamp`] describing its instantaneous
+/// frequency and a [`JitterModel`]; it exposes the absolute time of its
+/// next rising edge and advances edge by edge.
+///
+/// ```
+/// use mcd_clock::{DomainClock, DomainId};
+///
+/// let mut clk = DomainClock::new(DomainId::Integer, 1000.0, 49.1, 0.0, 7);
+/// let first = clk.next_edge_ps();
+/// clk.advance();
+/// assert_eq!(clk.next_edge_ps(), first + 1000); // 1 GHz -> 1000 ps period
+/// assert_eq!(clk.cycles(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DomainClock {
+    domain: DomainId,
+    ramp: FrequencyRamp,
+    jitter: JitterModel,
+    next_edge_ps: TimePs,
+    cycles: u64,
+}
+
+/// Serializable snapshot of a clock's externally visible state (used in
+/// telemetry traces).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockSnapshot {
+    /// Domain this snapshot belongs to.
+    pub domain: DomainId,
+    /// Instantaneous frequency in MHz.
+    pub freq_mhz: MegaHertz,
+    /// Total edges generated so far.
+    pub cycles: u64,
+    /// Absolute time of the next edge.
+    pub next_edge_ps: TimePs,
+}
+
+impl DomainClock {
+    /// Creates a clock running at `freq_mhz` with the given slew rate and
+    /// jitter.  The first edge is placed at a randomized phase within one
+    /// period (paper: "initially, all clock starting times are randomized"),
+    /// derived deterministically from `seed`.
+    pub fn new(
+        domain: DomainId,
+        freq_mhz: MegaHertz,
+        rate_ns_per_mhz: f64,
+        jitter_sigma_ps: f64,
+        seed: u64,
+    ) -> Self {
+        let ramp = FrequencyRamp::new(freq_mhz, rate_ns_per_mhz);
+        let mut phase_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let period = crate::freq_mhz_to_period_ps(freq_mhz);
+        let phase: TimePs = phase_rng.gen_range(0..period.max(1));
+        DomainClock {
+            domain,
+            ramp,
+            jitter: JitterModel::new(jitter_sigma_ps, seed),
+            next_edge_ps: phase,
+            cycles: 0,
+        }
+    }
+
+    /// The domain this clock drives.
+    pub fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    /// Absolute time of the next rising edge.
+    pub fn next_edge_ps(&self) -> TimePs {
+        self.next_edge_ps
+    }
+
+    /// Number of edges generated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instantaneous frequency at the time of the next edge.
+    pub fn current_freq_mhz(&self) -> MegaHertz {
+        self.ramp.freq_at(self.next_edge_ps)
+    }
+
+    /// The target frequency of the in-flight (or completed) transition.
+    pub fn target_freq_mhz(&self) -> MegaHertz {
+        self.ramp.target()
+    }
+
+    /// Whether a frequency transition is still in flight.
+    pub fn is_ramping(&self) -> bool {
+        self.ramp.is_ramping(self.next_edge_ps)
+    }
+
+    /// The current clock period in picoseconds (no jitter applied).
+    pub fn current_period_ps(&self) -> TimePs {
+        crate::freq_mhz_to_period_ps(self.current_freq_mhz())
+    }
+
+    /// Requests a frequency change toward `target_mhz`, starting at the
+    /// time of the next edge (the controller acts on interval boundaries).
+    pub fn set_target_freq(&mut self, target_mhz: MegaHertz) {
+        self.ramp.set_target(target_mhz, self.next_edge_ps);
+    }
+
+    /// Consumes the pending edge and schedules the following one: the next
+    /// edge time is the current edge plus the instantaneous period plus a
+    /// jitter sample.  Returns the time of the edge that was consumed.
+    pub fn advance(&mut self) -> TimePs {
+        let this_edge = self.next_edge_ps;
+        let period = self.current_period_ps() as f64;
+        let jitter = self.jitter.sample_ps();
+        // The jitter is bounded to 3 sigma (330 ps) which is always smaller
+        // than the smallest period (1000 ps), so the next edge is strictly
+        // after the current one.
+        let delta = (period + jitter).max(1.0);
+        self.next_edge_ps = this_edge + delta.round() as TimePs;
+        self.cycles += 1;
+        this_edge
+    }
+
+    /// A serializable snapshot of the clock state.
+    pub fn snapshot(&self) -> ClockSnapshot {
+        ClockSnapshot {
+            domain: self.domain,
+            freq_mhz: self.current_freq_mhz(),
+            cycles: self.cycles,
+            next_edge_ps: self.next_edge_ps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_with_zero_sigma_is_zero() {
+        let mut j = JitterModel::new(0.0, 42);
+        for _ in 0..100 {
+            assert_eq!(j.sample_ps(), 0.0);
+        }
+    }
+
+    #[test]
+    fn jitter_is_zero_mean_and_bounded() {
+        let mut j = JitterModel::new(110.0, 1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| j.sample_ps()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 5.0, "mean jitter should be near zero, got {mean}");
+        let sigma = var.sqrt();
+        assert!(
+            (sigma - 110.0).abs() < 10.0,
+            "sample sigma should be near 110 ps, got {sigma}"
+        );
+        assert!(samples.iter().all(|s| s.abs() <= 330.0 + 1e-9));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mut a = JitterModel::new(110.0, 7);
+        let mut b = JitterModel::new(110.0, 7);
+        for _ in 0..100 {
+            assert_eq!(a.sample_ps(), b.sample_ps());
+        }
+        let mut c = JitterModel::new(110.0, 8);
+        let differs = (0..100).any(|_| a.sample_ps() != c.sample_ps());
+        assert!(differs);
+    }
+
+    #[test]
+    fn clock_without_jitter_ticks_at_exact_period() {
+        let mut clk = DomainClock::new(DomainId::Integer, 500.0, 0.0, 0.0, 3);
+        let start = clk.next_edge_ps();
+        assert!(start < 2000, "initial phase must lie within one period");
+        for i in 1..=10u64 {
+            clk.advance();
+            assert_eq!(clk.next_edge_ps(), start + i * 2000);
+        }
+        assert_eq!(clk.cycles(), 10);
+    }
+
+    #[test]
+    fn clock_edges_are_strictly_monotonic_with_jitter() {
+        let mut clk = DomainClock::new(DomainId::LoadStore, 1000.0, 49.1, 110.0, 11);
+        let mut prev = clk.next_edge_ps();
+        for _ in 0..10_000 {
+            clk.advance();
+            assert!(clk.next_edge_ps() > prev);
+            prev = clk.next_edge_ps();
+        }
+    }
+
+    #[test]
+    fn frequency_change_lengthens_period_gradually() {
+        let mut clk = DomainClock::new(DomainId::FloatingPoint, 1000.0, 49.1, 0.0, 5);
+        assert_eq!(clk.current_period_ps(), 1000);
+        clk.set_target_freq(500.0);
+        assert!(clk.is_ramping());
+        // Immediately after the request the period has barely changed.
+        clk.advance();
+        assert!(clk.current_period_ps() < 1010);
+        // Run long enough for the 500 MHz ramp to finish: 500 MHz * 49.1
+        // ns/MHz = 24.55 us, i.e. < 24 550 edges even at 1 ns each.
+        for _ in 0..30_000 {
+            clk.advance();
+        }
+        assert!(!clk.is_ramping());
+        assert_eq!(clk.current_period_ps(), 2000);
+        assert_eq!(clk.target_freq_mhz(), 500.0);
+    }
+
+    #[test]
+    fn average_rate_matches_frequency_with_jitter() {
+        let mut clk = DomainClock::new(DomainId::FrontEnd, 1000.0, 0.0, 110.0, 17);
+        let start = clk.next_edge_ps();
+        let n = 50_000u64;
+        for _ in 0..n {
+            clk.advance();
+        }
+        let elapsed = clk.next_edge_ps() - start;
+        let avg_period = elapsed as f64 / n as f64;
+        assert!(
+            (avg_period - 1000.0).abs() < 5.0,
+            "average period should remain ~1000 ps, got {avg_period}"
+        );
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let clk = DomainClock::new(DomainId::Integer, 750.0, 49.1, 110.0, 23);
+        let s = clk.snapshot();
+        assert_eq!(s.domain, DomainId::Integer);
+        assert_eq!(s.cycles, 0);
+        assert!((s.freq_mhz - 750.0).abs() < 1e-9);
+        assert_eq!(s.next_edge_ps, clk.next_edge_ps());
+    }
+
+    #[test]
+    fn initial_phases_differ_across_seeds() {
+        let a = DomainClock::new(DomainId::Integer, 1000.0, 0.0, 0.0, 1);
+        let b = DomainClock::new(DomainId::Integer, 1000.0, 0.0, 0.0, 2);
+        // Not guaranteed for every pair of seeds, but these two differ.
+        assert_ne!(a.next_edge_ps(), b.next_edge_ps());
+    }
+}

@@ -1,0 +1,90 @@
+//! Fixed-frequency controller: the baseline MCD processor and the
+//! conventional fully synchronous processor keep every domain at a constant
+//! frequency for the whole run.
+
+use mcd_clock::{DomainId, MegaHertz};
+
+use crate::controller::FrequencyController;
+use crate::sample::{FrequencyCommand, IntervalSample};
+
+/// A controller that never changes any domain's frequency.
+///
+/// With all domains at the maximum frequency this is the *baseline MCD*
+/// configuration of the paper (and, on a synchronous clock configuration,
+/// the conventional processor baseline).  Arbitrary per-domain frequencies
+/// can also be pinned, which is useful for ablation studies.
+#[derive(Debug, Clone, Default)]
+pub struct FixedController {
+    pins: Vec<(DomainId, MegaHertz)>,
+}
+
+impl FixedController {
+    /// Creates a controller that leaves every domain at the simulator's
+    /// default (maximum) frequency.
+    pub fn at_max() -> Self {
+        FixedController { pins: Vec::new() }
+    }
+
+    /// Creates a controller that pins the given domains to the given
+    /// frequencies and leaves the rest at the maximum.
+    pub fn pinned(pins: Vec<(DomainId, MegaHertz)>) -> Self {
+        FixedController { pins }
+    }
+
+    /// The pinned frequency of a domain, if any.
+    pub fn pin(&self, domain: DomainId) -> Option<MegaHertz> {
+        self.pins.iter().find(|(d, _)| *d == domain).map(|(_, f)| *f)
+    }
+}
+
+impl FrequencyController for FixedController {
+    fn name(&self) -> &str {
+        "fixed"
+    }
+
+    fn initial_freq_mhz(&self, domain: DomainId) -> Option<MegaHertz> {
+        self.pin(domain)
+    }
+
+    fn interval_update(&mut self, _sample: &IntervalSample) -> Vec<FrequencyCommand> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_max_never_issues_commands() {
+        let mut c = FixedController::at_max();
+        assert_eq!(c.name(), "fixed");
+        assert_eq!(c.initial_freq_mhz(DomainId::Integer), None);
+        let sample = IntervalSample {
+            interval: 0,
+            instructions: 10_000,
+            frontend_cycles: 10_000,
+            ipc: 1.0,
+            domains: vec![],
+        };
+        assert!(c.interval_update(&sample).is_empty());
+    }
+
+    #[test]
+    fn pinned_frequencies_are_reported_as_initial() {
+        let c = FixedController::pinned(vec![
+            (DomainId::FloatingPoint, 250.0),
+            (DomainId::LoadStore, 500.0),
+        ]);
+        assert_eq!(c.initial_freq_mhz(DomainId::FloatingPoint), Some(250.0));
+        assert_eq!(c.initial_freq_mhz(DomainId::LoadStore), Some(500.0));
+        assert_eq!(c.initial_freq_mhz(DomainId::Integer), None);
+        assert_eq!(c.pin(DomainId::LoadStore), Some(500.0));
+    }
+
+    #[test]
+    fn default_is_at_max() {
+        let c = FixedController::default();
+        assert!(c.pins.is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Hardware cost estimate for the Attack/Decay controller (paper Table 3).
+//!
+//! Section 3.2 of the paper estimates the gate count of the monitoring and
+//! control circuitry from Zimmermann's computer-arithmetic building-block
+//! costs, assuming 16-bit devices:
+//!
+//! | Component | Estimation | Equivalent gates |
+//! |---|---|---|
+//! | Queue utilization counter (accumulator) | 7n (adder) + 4n (flip-flops) = 11n | 176 |
+//! | Comparators (2 required) | 6n x 2 = 12n | 192 |
+//! | Multiplier (partial-product accumulation) | 1n + 4n = 5n | 80 |
+//! | Interval counter (14-bit) | 3n + 4n = 7n | 112 |
+//! | Endstop counter (4-bit) | 3n + 4n = 7n | 28 |
+//!
+//! Per controlled domain: 476 gates.  One interval counter is shared.  The
+//! paper concludes that "fewer than 2,500 gates are required to fully
+//! control a four-domain MCD processor."
+
+use serde::{Deserialize, Serialize};
+
+/// One hardware component of the Attack/Decay implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HardwareComponent {
+    /// The per-domain queue-utilization accumulator.
+    QueueUtilizationCounter,
+    /// The two per-domain threshold comparators.
+    Comparators,
+    /// The per-domain serial multiplier used to scale the period.
+    Multiplier,
+    /// The shared 14-bit interval counter.
+    IntervalCounter,
+    /// The per-domain 4-bit endstop counter.
+    EndstopCounter,
+}
+
+impl HardwareComponent {
+    /// All components.
+    pub const ALL: [HardwareComponent; 5] = [
+        HardwareComponent::QueueUtilizationCounter,
+        HardwareComponent::Comparators,
+        HardwareComponent::Multiplier,
+        HardwareComponent::IntervalCounter,
+        HardwareComponent::EndstopCounter,
+    ];
+
+    /// The gate estimate expressed as gates-per-bit coefficients
+    /// (adder/accumulator cells plus storage flip-flops), as in Table 3.
+    pub fn gates_per_bit(self) -> u32 {
+        match self {
+            // 7n adder + 4n flip-flop.
+            HardwareComponent::QueueUtilizationCounter => 11,
+            // Two 6n comparators.
+            HardwareComponent::Comparators => 12,
+            // 1n serial multiplier cell + 4n flip-flop.
+            HardwareComponent::Multiplier => 5,
+            // 3n half-adder + 4n flip-flop.
+            HardwareComponent::IntervalCounter => 7,
+            HardwareComponent::EndstopCounter => 7,
+        }
+    }
+
+    /// The bit width assumed by the paper for this component.
+    pub fn bit_width(self) -> u32 {
+        match self {
+            HardwareComponent::QueueUtilizationCounter
+            | HardwareComponent::Comparators
+            | HardwareComponent::Multiplier => 16,
+            HardwareComponent::IntervalCounter => 16,
+            HardwareComponent::EndstopCounter => 4,
+        }
+    }
+
+    /// Equivalent gate count of this component (Table 3 rightmost column).
+    pub fn gates(self) -> u32 {
+        self.gates_per_bit() * self.bit_width()
+    }
+
+    /// Whether one instance is required per controlled domain (true) or a
+    /// single instance is shared by the whole chip (false).
+    pub fn per_domain(self) -> bool {
+        !matches!(self, HardwareComponent::IntervalCounter)
+    }
+
+    /// The component name as printed in Table 3.
+    pub fn name(self) -> &'static str {
+        match self {
+            HardwareComponent::QueueUtilizationCounter => "Queue Utilization Counter (Accumulator)",
+            HardwareComponent::Comparators => "Comparators (2 required)",
+            HardwareComponent::Multiplier => "Multiplier (partial-product accumulation)",
+            HardwareComponent::IntervalCounter => "Interval Counter (14-bit)",
+            HardwareComponent::EndstopCounter => "Endstop Counter (4-bit)",
+        }
+    }
+}
+
+/// Complete hardware-cost estimate for an MCD processor with a given number
+/// of controlled domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardwareEstimate {
+    /// Number of domains instrumented with the per-domain circuitry.
+    pub controlled_domains: u32,
+    /// Gates per controlled domain.
+    pub gates_per_domain: u32,
+    /// Gates for the shared circuitry (interval counter).
+    pub shared_gates: u32,
+    /// Total equivalent gate count.
+    pub total_gates: u32,
+}
+
+impl HardwareEstimate {
+    /// Builds the estimate for `controlled_domains` domains.
+    pub fn for_domains(controlled_domains: u32) -> Self {
+        let gates_per_domain: u32 = HardwareComponent::ALL
+            .iter()
+            .filter(|c| c.per_domain())
+            .map(|c| c.gates())
+            .sum();
+        let shared_gates: u32 = HardwareComponent::ALL
+            .iter()
+            .filter(|c| !c.per_domain())
+            .map(|c| c.gates())
+            .sum();
+        HardwareEstimate {
+            controlled_domains,
+            gates_per_domain,
+            shared_gates,
+            total_gates: gates_per_domain * controlled_domains + shared_gates,
+        }
+    }
+
+    /// The paper's configuration: the paper quotes 476 gates per domain and
+    /// states that a four-domain MCD processor needs fewer than 2 500 gates
+    /// in total.
+    pub fn paper_configuration() -> Self {
+        HardwareEstimate::for_domains(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_gate_counts_match_table3() {
+        assert_eq!(HardwareComponent::QueueUtilizationCounter.gates(), 176);
+        assert_eq!(HardwareComponent::Comparators.gates(), 192);
+        assert_eq!(HardwareComponent::Multiplier.gates(), 80);
+        assert_eq!(HardwareComponent::IntervalCounter.gates(), 112);
+        assert_eq!(HardwareComponent::EndstopCounter.gates(), 28);
+    }
+
+    #[test]
+    fn per_domain_cost_is_476_gates() {
+        let e = HardwareEstimate::for_domains(1);
+        assert_eq!(e.gates_per_domain, 476);
+        assert_eq!(e.shared_gates, 112);
+        assert_eq!(e.total_gates, 588);
+    }
+
+    #[test]
+    fn four_domain_total_is_below_2500_gates() {
+        let e = HardwareEstimate::paper_configuration();
+        assert_eq!(e.controlled_domains, 4);
+        assert_eq!(e.total_gates, 4 * 476 + 112);
+        assert!(e.total_gates < 2_500, "paper claims < 2,500 gates, got {}", e.total_gates);
+    }
+
+    #[test]
+    fn shared_component_is_only_the_interval_counter() {
+        for c in HardwareComponent::ALL {
+            assert_eq!(c.per_domain(), c != HardwareComponent::IntervalCounter);
+            assert!(!c.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn three_controlled_domains_cost_even_less() {
+        // Our simulator controls three domains (the front end stays fixed);
+        // the hardware budget shrinks accordingly.
+        let e = HardwareEstimate::for_domains(3);
+        assert_eq!(e.total_gates, 3 * 476 + 112);
+        assert!(e.total_gates < HardwareEstimate::paper_configuration().total_gates);
+    }
+}

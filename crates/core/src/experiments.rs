@@ -1,0 +1,770 @@
+//! One entry point per table/figure of the paper's evaluation.
+//!
+//! | Entry point | Paper artefact |
+//! |---|---|
+//! | [`run_suite`] | the per-benchmark runs underlying Table 6 and Figure 4 |
+//! | [`table6`] | Table 6 — algorithm comparison relative to the baseline MCD processor |
+//! | [`figure4`] | Figure 4(a–c) — per-application results relative to the fully synchronous processor |
+//! | [`traces`] | Figures 2 and 3 — `epic decode` load/store and floating-point traces |
+//! | [`sensitivity`] | Figures 5, 6 and 7 — parameter sensitivity sweeps |
+
+use mcd_control::AttackDecayParams;
+use mcd_sim::SimResult;
+use mcd_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{suite_average, Comparison};
+use crate::report::{pct, ratio, TextTable};
+use crate::runner::{BenchmarkRunner, ConfigKind};
+
+/// Settings shared by all experiments: which benchmarks to run, how many
+/// instructions per run, and how much effort to spend matching the global
+/// scaling frequency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSettings {
+    /// The benchmarks to include.
+    pub benchmarks: Vec<Benchmark>,
+    /// Committed instructions per run.
+    pub instructions: u64,
+    /// Committed instructions per control interval.  The paper uses 10 000
+    /// over windows of 50M-2B instructions; the harness scales both down so
+    /// that a run still spans on the order of a hundred control intervals.
+    pub interval_instructions: u64,
+    /// Workload / clock seed.
+    pub seed: u64,
+    /// Bisection iterations when matching a global-scaling frequency.
+    pub global_search_iters: usize,
+    /// Run benchmarks on parallel threads.
+    pub parallel: bool,
+}
+
+impl ExperimentSettings {
+    /// A quick configuration for tests and examples: a representative
+    /// cross-suite subset and short runs.
+    pub fn quick() -> Self {
+        ExperimentSettings {
+            benchmarks: vec![
+                Benchmark::Adpcm,
+                Benchmark::Epic,
+                Benchmark::Gzip,
+                Benchmark::Mcf,
+                Benchmark::Treeadd,
+                Benchmark::Swim,
+            ],
+            instructions: 60_000,
+            interval_instructions: 1_000,
+            seed: 42,
+            global_search_iters: 3,
+            parallel: true,
+        }
+    }
+
+    /// The full-suite configuration used by the benchmark harness: all 30
+    /// benchmarks of Table 5 with longer windows.
+    pub fn paper() -> Self {
+        ExperimentSettings {
+            benchmarks: Benchmark::ALL.to_vec(),
+            instructions: 400_000,
+            interval_instructions: 1_000,
+            seed: 42,
+            global_search_iters: 4,
+            parallel: true,
+        }
+    }
+
+    /// Builder-style override of the instruction budget.
+    pub fn with_instructions(mut self, instructions: u64) -> Self {
+        self.instructions = instructions;
+        self
+    }
+
+    /// Builder-style override of the benchmark list.
+    pub fn with_benchmarks(mut self, benchmarks: Vec<Benchmark>) -> Self {
+        self.benchmarks = benchmarks;
+        self
+    }
+}
+
+/// The five runs of one benchmark that Table 6 and Figure 4 are built from.
+#[derive(Debug, Clone)]
+pub struct BenchmarkOutcomes {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Fully synchronous processor at 1 GHz.
+    pub sync: SimResult,
+    /// Baseline MCD processor (all domains at maximum frequency).
+    pub baseline_mcd: SimResult,
+    /// MCD + Attack/Decay (paper parameters).
+    pub attack_decay: SimResult,
+    /// MCD + off-line Dynamic-1%.
+    pub dynamic1: SimResult,
+    /// MCD + off-line Dynamic-5%.
+    pub dynamic5: SimResult,
+}
+
+/// Runs the five configurations of every benchmark in the settings.
+pub fn run_suite(settings: &ExperimentSettings) -> Vec<BenchmarkOutcomes> {
+    let run_one = |bench: Benchmark| -> BenchmarkOutcomes {
+        let mut runner = BenchmarkRunner::new(settings.instructions, settings.seed)
+            .with_interval(settings.interval_instructions);
+        let sync = runner.run(bench, &ConfigKind::FullySynchronous).result;
+        let baseline_mcd = runner.run(bench, &ConfigKind::BaselineMcd).result;
+        let attack_decay = runner
+            .run(bench, &ConfigKind::AttackDecay(AttackDecayParams::paper_defaults()))
+            .result;
+        let dynamic1 = runner
+            .run(bench, &ConfigKind::OfflineDynamic { target_degradation: 0.01 })
+            .result;
+        let dynamic5 = runner
+            .run(bench, &ConfigKind::OfflineDynamic { target_degradation: 0.05 })
+            .result;
+        BenchmarkOutcomes { benchmark: bench, sync, baseline_mcd, attack_decay, dynamic1, dynamic5 }
+    };
+
+    if settings.parallel {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = settings
+                .benchmarks
+                .iter()
+                .map(|&b| scope.spawn(move || run_one(b)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("benchmark thread panicked")).collect()
+        })
+    } else {
+        settings.benchmarks.iter().map(|&b| run_one(b)).collect()
+    }
+}
+
+/// Table 6 — comparison of Attack/Decay, Dynamic-1%, Dynamic-5% and global
+/// voltage scaling.
+pub mod table6 {
+    use super::*;
+
+    /// One row of Table 6.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct Table6Row {
+        /// Algorithm label.
+        pub algorithm: String,
+        /// Average performance degradation.
+        pub perf_degradation: f64,
+        /// Average energy savings.
+        pub energy_savings: f64,
+        /// Average energy-delay-product improvement.
+        pub edp_improvement: f64,
+        /// Average power savings.
+        pub power_savings: f64,
+        /// Power-savings / performance-degradation ratio.
+        pub power_perf_ratio: Option<f64>,
+    }
+
+    /// The reproduced Table 6.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct Table6 {
+        /// Rows in the paper's order: Attack/Decay, Dynamic-1%, Dynamic-5%,
+        /// Global(Attack/Decay), Global(Dynamic-1%), Global(Dynamic-5%).
+        pub rows: Vec<Table6Row>,
+    }
+
+    impl Table6 {
+        /// Looks up a row by its algorithm label.
+        pub fn row(&self, algorithm: &str) -> Option<&Table6Row> {
+            self.rows.iter().find(|r| r.algorithm == algorithm)
+        }
+
+        /// Renders the table as text.
+        pub fn render(&self) -> String {
+            let mut t = TextTable::new(vec![
+                "Algorithm",
+                "Perf. degradation",
+                "Energy savings",
+                "EDP improvement",
+                "Power/Perf ratio",
+            ]);
+            for r in &self.rows {
+                t.push_row(vec![
+                    r.algorithm.clone(),
+                    pct(r.perf_degradation),
+                    pct(r.energy_savings),
+                    pct(r.edp_improvement),
+                    ratio(r.power_perf_ratio),
+                ]);
+            }
+            t.render()
+        }
+    }
+
+    fn average_row(label: &str, comparisons: &[Comparison]) -> Table6Row {
+        let avg = suite_average(comparisons);
+        let ratio = if avg.perf_degradation > 1e-6 {
+            Some(avg.power_savings / avg.perf_degradation)
+        } else {
+            None
+        };
+        Table6Row {
+            algorithm: label.to_string(),
+            perf_degradation: avg.perf_degradation,
+            energy_savings: avg.energy_savings,
+            edp_improvement: avg.edp_improvement,
+            power_savings: avg.power_savings,
+            power_perf_ratio: ratio,
+        }
+    }
+
+    /// Builds the MCD rows of Table 6 from per-benchmark outcomes
+    /// (everything is relative to the baseline MCD processor, as in the
+    /// paper).
+    pub fn mcd_rows(outcomes: &[BenchmarkOutcomes]) -> Vec<Table6Row> {
+        let against_baseline = |pick: fn(&BenchmarkOutcomes) -> &SimResult| -> Vec<Comparison> {
+            outcomes
+                .iter()
+                .map(|o| Comparison::vs(pick(o), &o.baseline_mcd))
+                .collect()
+        };
+        vec![
+            average_row("Attack/Decay", &against_baseline(|o| &o.attack_decay)),
+            average_row("Dynamic-1%", &against_baseline(|o| &o.dynamic1)),
+            average_row("Dynamic-5%", &against_baseline(|o| &o.dynamic5)),
+        ]
+    }
+
+    /// Runs the full Table 6 experiment, including the `Global(...)` rows:
+    /// for each algorithm, the fully synchronous processor is globally
+    /// scaled until it matches that algorithm's average performance
+    /// degradation, and the resulting (much smaller) energy savings are
+    /// reported.
+    pub fn run(settings: &ExperimentSettings) -> Table6 {
+        let outcomes = run_suite(settings);
+        let mut rows = mcd_rows(&outcomes);
+
+        let mcd_targets: Vec<(String, f64)> = rows
+            .iter()
+            .map(|r| (r.algorithm.clone(), r.perf_degradation.max(0.0)))
+            .collect();
+
+        for (label, target) in mcd_targets {
+            let comparisons: Vec<Comparison> = outcomes
+                .iter()
+                .map(|o| {
+                    let mut runner = BenchmarkRunner::new(settings.instructions, settings.seed)
+                        .with_interval(settings.interval_instructions);
+                    let (_, scaled) = runner.find_global_matching(
+                        o.benchmark,
+                        target,
+                        &o.sync,
+                        settings.global_search_iters,
+                    );
+                    Comparison::vs(&scaled.result, &o.sync)
+                })
+                .collect();
+            rows.push(average_row(&format!("Global ({label})"), &comparisons));
+        }
+
+        Table6 { rows }
+    }
+}
+
+/// Figure 4 — per-application performance degradation, energy savings and
+/// EDP improvement, referenced to the fully synchronous processor.
+pub mod figure4 {
+    use super::*;
+
+    /// One benchmark's comparisons against the fully synchronous processor.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct Figure4Row {
+        /// Benchmark name.
+        pub benchmark: String,
+        /// Baseline MCD vs fully synchronous.
+        pub baseline_mcd: Comparison,
+        /// Dynamic-1% vs fully synchronous.
+        pub dynamic1: Comparison,
+        /// Dynamic-5% vs fully synchronous.
+        pub dynamic5: Comparison,
+        /// Attack/Decay vs fully synchronous.
+        pub attack_decay: Comparison,
+    }
+
+    /// The reproduced Figure 4 data set.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct Figure4 {
+        /// Per-benchmark rows.
+        pub rows: Vec<Figure4Row>,
+        /// The cross-benchmark average row (the "average" group of the
+        /// paper's figures).
+        pub average: Figure4Row,
+    }
+
+    impl Figure4 {
+        /// Renders one of the three panels: `metric` selects performance
+        /// degradation (a), energy savings (b) or EDP improvement (c).
+        pub fn render_panel(&self, metric: Panel) -> String {
+            let mut t = TextTable::new(vec![
+                "Benchmark",
+                "Baseline MCD",
+                "Dynamic-1%",
+                "Dynamic-5%",
+                "Attack/Decay",
+            ]);
+            for row in self.rows.iter().chain(std::iter::once(&self.average)) {
+                let get = |c: &Comparison| match metric {
+                    Panel::PerformanceDegradation => c.perf_degradation,
+                    Panel::EnergySavings => c.energy_savings,
+                    Panel::EdpImprovement => c.edp_improvement,
+                };
+                t.push_row(vec![
+                    row.benchmark.clone(),
+                    pct(get(&row.baseline_mcd)),
+                    pct(get(&row.dynamic1)),
+                    pct(get(&row.dynamic5)),
+                    pct(get(&row.attack_decay)),
+                ]);
+            }
+            t.render()
+        }
+
+        /// Renders all three panels.
+        pub fn render(&self) -> String {
+            format!(
+                "Figure 4(a) Performance degradation\n{}\nFigure 4(b) Energy savings\n{}\nFigure 4(c) Energy-delay product improvement\n{}",
+                self.render_panel(Panel::PerformanceDegradation),
+                self.render_panel(Panel::EnergySavings),
+                self.render_panel(Panel::EdpImprovement)
+            )
+        }
+    }
+
+    /// Which of the three Figure 4 panels to render.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Panel {
+        /// Figure 4(a).
+        PerformanceDegradation,
+        /// Figure 4(b).
+        EnergySavings,
+        /// Figure 4(c).
+        EdpImprovement,
+    }
+
+    /// Builds Figure 4 from per-benchmark outcomes.
+    pub fn from_outcomes(outcomes: &[BenchmarkOutcomes]) -> Figure4 {
+        let rows: Vec<Figure4Row> = outcomes
+            .iter()
+            .map(|o| Figure4Row {
+                benchmark: o.benchmark.name().to_string(),
+                baseline_mcd: Comparison::vs(&o.baseline_mcd, &o.sync),
+                dynamic1: Comparison::vs(&o.dynamic1, &o.sync),
+                dynamic5: Comparison::vs(&o.dynamic5, &o.sync),
+                attack_decay: Comparison::vs(&o.attack_decay, &o.sync),
+            })
+            .collect();
+        let avg = |pick: fn(&Figure4Row) -> Comparison| {
+            suite_average(&rows.iter().map(pick).collect::<Vec<_>>())
+        };
+        let average = Figure4Row {
+            benchmark: "average".to_string(),
+            baseline_mcd: avg(|r| r.baseline_mcd),
+            dynamic1: avg(|r| r.dynamic1),
+            dynamic5: avg(|r| r.dynamic5),
+            attack_decay: avg(|r| r.attack_decay),
+        };
+        Figure4 { rows, average }
+    }
+
+    /// Runs the Figure 4 experiment.
+    pub fn run(settings: &ExperimentSettings) -> Figure4 {
+        from_outcomes(&run_suite(settings))
+    }
+}
+
+/// Figures 2 and 3 — `epic decode` per-interval traces.
+pub mod traces {
+    use super::*;
+    use mcd_clock::DomainId;
+
+    /// One interval of the `epic decode` trace.
+    #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+    pub struct TracePoint {
+        /// Interval index.
+        pub interval: u64,
+        /// Cumulative committed instructions.
+        pub committed: u64,
+        /// Average load/store-queue occupancy over the interval.
+        pub lsq_utilization: f64,
+        /// Percent change in LSQ occupancy versus the previous interval
+        /// (the signal of Figure 2(a)).
+        pub lsq_change_pct: f64,
+        /// Load/store domain frequency in GHz (Figure 2(b)).
+        pub loadstore_freq_ghz: f64,
+        /// Average floating-point issue-queue occupancy (Figure 3(a)).
+        pub fiq_utilization: f64,
+        /// Floating-point domain frequency in GHz (Figure 3(b)).
+        pub fp_freq_ghz: f64,
+    }
+
+    /// The reproduced Figure 2/3 series.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct EpicDecodeTraces {
+        /// Per-interval points.
+        pub points: Vec<TracePoint>,
+    }
+
+    impl EpicDecodeTraces {
+        /// Renders the series as CSV (one row per interval).
+        pub fn to_csv(&self) -> String {
+            let mut t = TextTable::new(vec![
+                "interval",
+                "instructions",
+                "lsq_utilization",
+                "lsq_change_pct",
+                "loadstore_freq_ghz",
+                "fiq_utilization",
+                "fp_freq_ghz",
+            ]);
+            for p in &self.points {
+                t.push_row(vec![
+                    p.interval.to_string(),
+                    p.committed.to_string(),
+                    format!("{:.3}", p.lsq_utilization),
+                    format!("{:.2}", p.lsq_change_pct),
+                    format!("{:.3}", p.loadstore_freq_ghz),
+                    format!("{:.3}", p.fiq_utilization),
+                    format!("{:.3}", p.fp_freq_ghz),
+                ]);
+            }
+            t.to_csv()
+        }
+
+        /// Minimum and maximum floating-point domain frequency over the
+        /// trace, in GHz.
+        pub fn fp_freq_range(&self) -> (f64, f64) {
+            let mut min = f64::MAX;
+            let mut max = f64::MIN;
+            for p in &self.points {
+                min = min.min(p.fp_freq_ghz);
+                max = max.max(p.fp_freq_ghz);
+            }
+            (min, max)
+        }
+    }
+
+    /// Runs the `epic decode` trace experiment with the Attack/Decay
+    /// controller and trace recording enabled.
+    pub fn run(instructions: u64, seed: u64) -> EpicDecodeTraces {
+        // Scale the control interval with the window so the trace spans on
+        // the order of 150 intervals, as the paper's multi-million
+        // instruction windows do at 10 000 instructions per interval.
+        let interval = (instructions / 150).clamp(500, 10_000);
+        let mut runner = BenchmarkRunner::new(instructions, seed).with_interval(interval);
+        runner.record_traces = true;
+        let outcome = runner.run(
+            Benchmark::EpicDecode,
+            &ConfigKind::AttackDecay(AttackDecayParams::paper_defaults()),
+        );
+        let mut points = Vec::with_capacity(outcome.result.intervals.len());
+        let mut prev_lsq: Option<f64> = None;
+        for rec in &outcome.result.intervals {
+            let lsq = rec.domain(DomainId::LoadStore);
+            let fp = rec.domain(DomainId::FloatingPoint);
+            let lsq_util = lsq.map(|d| d.queue_utilization).unwrap_or(0.0);
+            let change = match prev_lsq {
+                Some(p) if p > 0.0 => (lsq_util - p) / p * 100.0,
+                _ => 0.0,
+            };
+            prev_lsq = Some(lsq_util);
+            points.push(TracePoint {
+                interval: rec.interval,
+                committed: rec.committed,
+                lsq_utilization: lsq_util,
+                lsq_change_pct: change,
+                loadstore_freq_ghz: lsq.map(|d| d.freq_mhz / 1000.0).unwrap_or(1.0),
+                fiq_utilization: fp.map(|d| d.queue_utilization).unwrap_or(0.0),
+                fp_freq_ghz: fp.map(|d| d.freq_mhz / 1000.0).unwrap_or(1.0),
+            });
+        }
+        EpicDecodeTraces { points }
+    }
+}
+
+/// Figures 5, 6 and 7 — sensitivity of the Attack/Decay algorithm to its
+/// configuration parameters.
+pub mod sensitivity {
+    use super::*;
+
+    /// One point of a parameter sweep.
+    #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+    pub struct SweepPoint {
+        /// The swept parameter's value (a fraction).
+        pub value: f64,
+        /// Average performance degradation versus the baseline MCD.
+        pub perf_degradation: f64,
+        /// Average energy savings versus the baseline MCD.
+        pub energy_savings: f64,
+        /// Average EDP improvement versus the baseline MCD.
+        pub edp_improvement: f64,
+        /// Power-savings / performance-degradation ratio.
+        pub power_perf_ratio: Option<f64>,
+    }
+
+    /// A complete sweep of one parameter.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct SweepResult {
+        /// The name of the swept parameter.
+        pub parameter: String,
+        /// The legend of the non-swept parameters, in the paper's
+        /// `DevThr_React_Decay_PerfDeg` percent format.
+        pub legend: String,
+        /// Sweep points in increasing parameter order.
+        pub points: Vec<SweepPoint>,
+    }
+
+    impl SweepResult {
+        /// Renders the sweep as a text table.
+        pub fn render(&self) -> String {
+            let mut t = TextTable::new(vec![
+                "value",
+                "perf degradation",
+                "energy savings",
+                "EDP improvement",
+                "power/perf ratio",
+            ]);
+            for p in &self.points {
+                t.push_row(vec![
+                    format!("{:.3}%", p.value * 100.0),
+                    pct(p.perf_degradation),
+                    pct(p.energy_savings),
+                    pct(p.edp_improvement),
+                    ratio(p.power_perf_ratio),
+                ]);
+            }
+            format!("{} sensitivity ({})\n{}", self.parameter, self.legend, t.render())
+        }
+    }
+
+    /// Runs the Attack/Decay configuration `params` for every benchmark of
+    /// the settings and averages the comparisons against the baseline MCD.
+    fn evaluate(
+        settings: &ExperimentSettings,
+        baselines: &[(Benchmark, SimResult)],
+        params: AttackDecayParams,
+    ) -> (Comparison, Option<f64>) {
+        let run_one = |bench: Benchmark, reference: &SimResult| -> Comparison {
+            let mut runner = BenchmarkRunner::new(settings.instructions, settings.seed)
+                .with_interval(settings.interval_instructions);
+            let outcome = runner.run(bench, &ConfigKind::AttackDecay(params));
+            Comparison::vs(&outcome.result, reference)
+        };
+        let comparisons: Vec<Comparison> = if settings.parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = baselines
+                    .iter()
+                    .map(|(b, r)| scope.spawn(move || run_one(*b, r)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("sweep thread panicked")).collect()
+            })
+        } else {
+            baselines.iter().map(|(b, r)| run_one(*b, r)).collect()
+        };
+        let avg = suite_average(&comparisons);
+        let ratio = if avg.perf_degradation > 1e-6 {
+            Some(avg.power_savings / avg.perf_degradation)
+        } else {
+            None
+        };
+        (avg, ratio)
+    }
+
+    fn baselines(settings: &ExperimentSettings) -> Vec<(Benchmark, SimResult)> {
+        settings
+            .benchmarks
+            .iter()
+            .map(|&b| {
+                let mut runner = BenchmarkRunner::new(settings.instructions, settings.seed)
+                    .with_interval(settings.interval_instructions);
+                (b, runner.run(b, &ConfigKind::BaselineMcd).result)
+            })
+            .collect()
+    }
+
+    fn sweep(
+        settings: &ExperimentSettings,
+        parameter: &str,
+        base: AttackDecayParams,
+        values: &[f64],
+        apply: fn(AttackDecayParams, f64) -> AttackDecayParams,
+    ) -> SweepResult {
+        let baselines = baselines(settings);
+        let points = values
+            .iter()
+            .map(|&v| {
+                let params = apply(base, v);
+                let (avg, ratio) = evaluate(settings, &baselines, params);
+                SweepPoint {
+                    value: v,
+                    perf_degradation: avg.perf_degradation,
+                    energy_savings: avg.energy_savings,
+                    edp_improvement: avg.edp_improvement,
+                    power_perf_ratio: ratio,
+                }
+            })
+            .collect();
+        SweepResult {
+            parameter: parameter.to_string(),
+            legend: base.legend(),
+            points,
+        }
+    }
+
+    /// Figure 5: sweep of the performance-degradation threshold (target).
+    /// The paper's legend is `1.000_06.0_1.250_X.X`.
+    pub fn sweep_perf_deg_target(settings: &ExperimentSettings, values: &[f64]) -> SweepResult {
+        let base = AttackDecayParams {
+            deviation_threshold: 0.010,
+            reaction_change: 0.06,
+            decay: 0.0125,
+            perf_deg_threshold: 0.0,
+            endstop_count: 10,
+        };
+        sweep(settings, "PerfDegThreshold", base, values, |mut p, v| {
+            p.perf_deg_threshold = v;
+            p
+        })
+    }
+
+    /// Figures 6(a)/7(a): sweep of DecayPercent (legend `1.500_04.0_X.XXX_3.0`).
+    pub fn sweep_decay(settings: &ExperimentSettings, values: &[f64]) -> SweepResult {
+        let base = AttackDecayParams {
+            deviation_threshold: 0.015,
+            reaction_change: 0.04,
+            decay: 0.0,
+            perf_deg_threshold: 0.03,
+            endstop_count: 10,
+        };
+        sweep(settings, "Decay", base, values, |mut p, v| {
+            p.decay = v;
+            p
+        })
+    }
+
+    /// Figures 6(b)/7(b): sweep of ReactionChangePercent
+    /// (legend `1.500_XX.X_0.750_3.0`).
+    pub fn sweep_reaction_change(settings: &ExperimentSettings, values: &[f64]) -> SweepResult {
+        let base = AttackDecayParams {
+            deviation_threshold: 0.015,
+            reaction_change: 0.04,
+            decay: 0.0075,
+            perf_deg_threshold: 0.03,
+            endstop_count: 10,
+        };
+        sweep(settings, "ReactionChange", base, values, |mut p, v| {
+            p.reaction_change = v;
+            p
+        })
+    }
+
+    /// Figures 6(c)/7(c): sweep of DeviationThresholdPercent
+    /// (legend `X.XXX_06.0_0.175_2.5`).
+    pub fn sweep_deviation_threshold(
+        settings: &ExperimentSettings,
+        values: &[f64],
+    ) -> SweepResult {
+        let base = AttackDecayParams::paper_defaults();
+        sweep(settings, "DeviationThreshold", base, values, |mut p, v| {
+            p.deviation_threshold = v;
+            p
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_settings() -> ExperimentSettings {
+        ExperimentSettings {
+            benchmarks: vec![Benchmark::Adpcm, Benchmark::Gzip, Benchmark::Swim],
+            instructions: 40_000,
+            interval_instructions: 500,
+            seed: 7,
+            global_search_iters: 2,
+            parallel: true,
+        }
+    }
+
+    #[test]
+    fn suite_runs_produce_all_configurations() {
+        let outcomes = run_suite(&tiny_settings());
+        assert_eq!(outcomes.len(), 3);
+        for o in &outcomes {
+            assert_eq!(o.sync.committed_instructions, 40_000);
+            assert_eq!(o.attack_decay.committed_instructions, 40_000);
+            // The baseline MCD is never faster than the synchronous machine.
+            assert!(o.baseline_mcd.elapsed_ps as f64 >= o.sync.elapsed_ps as f64 * 0.99);
+        }
+    }
+
+    #[test]
+    fn table6_mcd_rows_show_energy_savings_with_bounded_slowdown() {
+        let outcomes = run_suite(&tiny_settings());
+        let rows = table6::mcd_rows(&outcomes);
+        assert_eq!(rows.len(), 3);
+        let ad = &rows[0];
+        assert_eq!(ad.algorithm, "Attack/Decay");
+        assert!(ad.energy_savings > 0.02, "Attack/Decay should save energy, got {}", ad.energy_savings);
+        assert!(ad.perf_degradation < 0.15, "degradation should be bounded, got {}", ad.perf_degradation);
+        // The off-line Dynamic-5% saves at least as much energy as Dynamic-1%.
+        assert!(rows[2].energy_savings >= rows[1].energy_savings - 0.02);
+        let rendered = table6::Table6 { rows }.render();
+        assert!(rendered.contains("Attack/Decay"));
+    }
+
+    #[test]
+    fn figure4_average_row_is_labelled() {
+        let outcomes = run_suite(&ExperimentSettings {
+            benchmarks: vec![Benchmark::Adpcm, Benchmark::Epic],
+            instructions: 30_000,
+            interval_instructions: 500,
+            seed: 3,
+            global_search_iters: 2,
+            parallel: true,
+        });
+        let fig = figure4::from_outcomes(&outcomes);
+        assert_eq!(fig.rows.len(), 2);
+        assert_eq!(fig.average.benchmark, "average");
+        let text = fig.render();
+        assert!(text.contains("Figure 4(a)"));
+        assert!(text.contains("average"));
+    }
+
+    #[test]
+    fn epic_decode_traces_show_fp_phase_behaviour() {
+        let traces = traces::run(120_000, 5);
+        assert!(traces.points.len() >= 10);
+        let (fp_min, fp_max) = traces.fp_freq_range();
+        assert!(
+            fp_min < fp_max,
+            "the FP domain frequency must move over the epic decode phases"
+        );
+        // During the idle phases the controller decays the FP domain below
+        // the maximum frequency.
+        assert!(fp_min < 0.999, "FP domain should decay when unused, min = {fp_min}");
+        let csv = traces.to_csv();
+        assert!(csv.lines().count() == traces.points.len() + 1);
+    }
+
+    #[test]
+    fn decay_sweep_produces_monotone_value_axis() {
+        let settings = ExperimentSettings {
+            benchmarks: vec![Benchmark::Adpcm, Benchmark::Gzip],
+            instructions: 30_000,
+            interval_instructions: 500,
+            seed: 1,
+            global_search_iters: 2,
+            parallel: true,
+        };
+        let sweep = sensitivity::sweep_decay(&settings, &[0.0005, 0.0075]);
+        assert_eq!(sweep.points.len(), 2);
+        assert!(sweep.points[0].value < sweep.points[1].value);
+        // A faster decay lowers frequencies more aggressively and therefore
+        // saves at least as much energy.
+        assert!(sweep.points[1].energy_savings >= sweep.points[0].energy_savings - 0.01);
+        assert!(sweep.render().contains("Decay"));
+    }
+}

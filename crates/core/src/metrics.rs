@@ -1,0 +1,188 @@
+//! The paper's evaluation metrics.
+//!
+//! Every number the paper reports is a *relative* metric between two runs
+//! of the same benchmark under different configurations:
+//!
+//! * **Performance degradation** — increase in execution time relative to
+//!   the reference.
+//! * **Energy savings** — decrease in total chip energy.
+//! * **Energy-delay-product (EDP) improvement** — decrease in
+//!   energy times execution time.
+//! * **Power-savings to performance-degradation ratio** — average percent
+//!   power savings divided by average percent performance degradation
+//!   (Section 5: "a ratio of X indicates that for every 1 percent of
+//!   performance degradation, X percent of power is saved").
+
+use mcd_sim::SimResult;
+use serde::{Deserialize, Serialize};
+
+/// Absolute metrics of one run (convenience wrapper over [`SimResult`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// Energy per instruction (model units).
+    pub epi: f64,
+    /// Execution time in seconds.
+    pub seconds: f64,
+    /// Total chip energy (model units).
+    pub chip_energy: f64,
+    /// Energy-delay product.
+    pub edp: f64,
+    /// Average chip power (model units / second).
+    pub avg_power: f64,
+}
+
+impl RunMetrics {
+    /// Extracts the metrics from a simulation result.
+    pub fn from_result(r: &SimResult) -> Self {
+        RunMetrics {
+            cpi: r.cpi(),
+            epi: r.epi(),
+            seconds: r.seconds(),
+            chip_energy: r.chip_energy(),
+            edp: r.energy_delay_product(),
+            avg_power: r.avg_power(),
+        }
+    }
+}
+
+/// Relative metrics of a configuration versus a reference configuration
+/// for the same benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Execution-time increase relative to the reference (0.032 = 3.2%).
+    pub perf_degradation: f64,
+    /// Chip-energy decrease relative to the reference (0.19 = 19%).
+    pub energy_savings: f64,
+    /// Energy-per-instruction decrease relative to the reference.
+    pub epi_reduction: f64,
+    /// Energy-delay-product decrease relative to the reference.
+    pub edp_improvement: f64,
+    /// Average-power decrease relative to the reference.
+    pub power_savings: f64,
+}
+
+impl Comparison {
+    /// Compares `run` against `reference` (for example Attack/Decay against
+    /// the baseline MCD processor).
+    pub fn vs(run: &SimResult, reference: &SimResult) -> Self {
+        Comparison::from_metrics(&RunMetrics::from_result(run), &RunMetrics::from_result(reference))
+    }
+
+    /// Compares precomputed metric sets.
+    pub fn from_metrics(run: &RunMetrics, reference: &RunMetrics) -> Self {
+        let rel = |a: f64, b: f64| if b == 0.0 { 0.0 } else { a / b };
+        Comparison {
+            perf_degradation: rel(run.seconds, reference.seconds) - 1.0,
+            energy_savings: 1.0 - rel(run.chip_energy, reference.chip_energy),
+            epi_reduction: 1.0 - rel(run.epi, reference.epi),
+            edp_improvement: 1.0 - rel(run.edp, reference.edp),
+            power_savings: 1.0 - rel(run.avg_power, reference.avg_power),
+        }
+    }
+
+    /// The power-savings to performance-degradation ratio of this single
+    /// comparison.  Returns `None` when the degradation is non-positive
+    /// (the ratio is undefined / infinite).
+    pub fn power_perf_ratio(&self) -> Option<f64> {
+        if self.perf_degradation > 1e-6 {
+            Some(self.power_savings / self.perf_degradation)
+        } else {
+            None
+        }
+    }
+}
+
+/// Averages a set of per-benchmark comparisons the way the paper does:
+/// arithmetic mean of the individual percentages, with the
+/// power/performance ratio computed from the averaged power savings and
+/// averaged degradation.
+pub fn suite_average(comparisons: &[Comparison]) -> Comparison {
+    if comparisons.is_empty() {
+        return Comparison {
+            perf_degradation: 0.0,
+            energy_savings: 0.0,
+            epi_reduction: 0.0,
+            edp_improvement: 0.0,
+            power_savings: 0.0,
+        };
+    }
+    let n = comparisons.len() as f64;
+    Comparison {
+        perf_degradation: comparisons.iter().map(|c| c.perf_degradation).sum::<f64>() / n,
+        energy_savings: comparisons.iter().map(|c| c.energy_savings).sum::<f64>() / n,
+        epi_reduction: comparisons.iter().map(|c| c.epi_reduction).sum::<f64>() / n,
+        edp_improvement: comparisons.iter().map(|c| c.edp_improvement).sum::<f64>() / n,
+        power_savings: comparisons.iter().map(|c| c.power_savings).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(seconds: f64, energy: f64, instructions: f64) -> RunMetrics {
+        RunMetrics {
+            cpi: 1.0,
+            epi: energy / instructions,
+            seconds,
+            chip_energy: energy,
+            edp: energy * seconds,
+            avg_power: energy / seconds,
+        }
+    }
+
+    #[test]
+    fn comparison_of_identical_runs_is_zero() {
+        let m = metrics(1.0, 100.0, 1000.0);
+        let c = Comparison::from_metrics(&m, &m);
+        assert!(c.perf_degradation.abs() < 1e-12);
+        assert!(c.energy_savings.abs() < 1e-12);
+        assert!(c.edp_improvement.abs() < 1e-12);
+        assert_eq!(c.power_perf_ratio(), None);
+    }
+
+    #[test]
+    fn slower_but_cheaper_run_shows_savings_and_degradation() {
+        let reference = metrics(1.0, 100.0, 1000.0);
+        let run = metrics(1.05, 80.0, 1000.0);
+        let c = Comparison::from_metrics(&run, &reference);
+        assert!((c.perf_degradation - 0.05).abs() < 1e-12);
+        assert!((c.energy_savings - 0.20).abs() < 1e-12);
+        // EDP: 84 vs 100 -> 16% improvement.
+        assert!((c.edp_improvement - 0.16).abs() < 1e-12);
+        // Power: 80/1.05 vs 100 -> 23.8% savings.
+        assert!((c.power_savings - (1.0 - 80.0 / 1.05 / 100.0)).abs() < 1e-12);
+        let ratio = c.power_perf_ratio().unwrap();
+        assert!(ratio > 4.0 && ratio < 5.0);
+    }
+
+    #[test]
+    fn worse_configuration_yields_negative_improvements() {
+        let reference = metrics(1.0, 100.0, 1000.0);
+        let run = metrics(1.2, 110.0, 1000.0);
+        let c = Comparison::from_metrics(&run, &reference);
+        assert!(c.energy_savings < 0.0);
+        assert!(c.edp_improvement < 0.0);
+        assert!(c.perf_degradation > 0.19);
+    }
+
+    #[test]
+    fn suite_average_is_arithmetic_mean() {
+        let reference = metrics(1.0, 100.0, 1000.0);
+        let a = Comparison::from_metrics(&metrics(1.02, 90.0, 1000.0), &reference);
+        let b = Comparison::from_metrics(&metrics(1.06, 70.0, 1000.0), &reference);
+        let avg = suite_average(&[a, b]);
+        assert!((avg.perf_degradation - 0.04).abs() < 1e-12);
+        assert!((avg.energy_savings - 0.20).abs() < 1e-12);
+        assert!(avg.power_perf_ratio().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn empty_average_is_zero() {
+        let avg = suite_average(&[]);
+        assert_eq!(avg.perf_degradation, 0.0);
+        assert_eq!(avg.energy_savings, 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Parameter presets of the paper's Tables 1, 2 and 4, plus their rendered
+//! forms for the `paper_tables` regeneration binary.
+
+use mcd_clock::McdClockParams;
+use mcd_control::{AttackDecayParams, HardwareEstimate, ParamRanges};
+use mcd_sim::{ArchParams, SimConfig};
+use mcd_workloads::Benchmark;
+
+/// The MCD-specific parameters of paper Table 1.
+pub fn table1_mcd_params() -> McdClockParams {
+    McdClockParams::default()
+}
+
+/// The Attack/Decay parameter ranges of paper Table 2.
+pub fn table2_param_ranges() -> ParamRanges {
+    ParamRanges::paper_table2()
+}
+
+/// The headline Attack/Decay configuration of Section 5.
+pub fn paper_attack_decay_params() -> AttackDecayParams {
+    AttackDecayParams::paper_defaults()
+}
+
+/// The hardware-cost estimate of paper Table 3.
+pub fn table3_hardware_estimate() -> HardwareEstimate {
+    HardwareEstimate::paper_configuration()
+}
+
+/// The architectural parameters of paper Table 4 (Alpha 21264-like core).
+pub fn table4_arch_params() -> ArchParams {
+    ArchParams::default()
+}
+
+/// Renders Table 1 as text.
+pub fn render_table1() -> String {
+    let p = table1_mcd_params();
+    let mut out = String::from("Table 1. MCD processor configuration parameters\n");
+    out.push_str(&format!("  Domain Voltage          {:.2} V - {:.2} V\n", p.min_voltage, p.max_voltage));
+    out.push_str(&format!(
+        "  Domain Frequency        {:.0} MHz - {:.0} MHz ({} operating points)\n",
+        p.min_freq_mhz, p.max_freq_mhz, p.num_operating_points
+    ));
+    out.push_str(&format!("  Frequency Change Rate   {} ns/MHz\n", p.freq_change_rate_ns_per_mhz));
+    out.push_str(&format!("  Domain Clock Jitter     {} ps (normally distributed about zero)\n", p.jitter_sigma_ps));
+    out.push_str(&format!(
+        "  Synchronization Window  {} ps ({:.0}% of the {:.1} GHz clock)\n",
+        p.sync_window_ps,
+        p.sync_window_fraction() * 100.0,
+        p.max_freq_mhz / 1000.0
+    ));
+    out
+}
+
+/// Renders Table 2 as text.
+pub fn render_table2() -> String {
+    let r = table2_param_ranges();
+    let mut out = String::from("Table 2. Attack/Decay configuration parameters\n");
+    let pct = |x: f64| format!("{:.1}%", x * 100.0);
+    out.push_str(&format!("  DeviationThreshold   {} - {}\n", pct(r.deviation_threshold.0), pct(r.deviation_threshold.1)));
+    out.push_str(&format!("  ReactionChange       {} - {}\n", pct(r.reaction_change.0), pct(r.reaction_change.1)));
+    out.push_str(&format!("  Decay                {} - {}\n", pct(r.decay.0), pct(r.decay.1)));
+    out.push_str(&format!("  PerfDegThreshold     {} - {}\n", pct(r.perf_deg_threshold.0), pct(r.perf_deg_threshold.1)));
+    out.push_str(&format!("  EndstopCount         {} - {} intervals\n", r.endstop_count.0, r.endstop_count.1));
+    out
+}
+
+/// Renders Table 3 as text.
+pub fn render_table3() -> String {
+    use mcd_control::HardwareComponent;
+    let mut out = String::from("Table 3. Hardware resources to implement Attack/Decay\n");
+    for c in HardwareComponent::ALL {
+        out.push_str(&format!("  {:44} {:>5} gates\n", c.name(), c.gates()));
+    }
+    let e = table3_hardware_estimate();
+    out.push_str(&format!(
+        "  Per controlled domain: {} gates; {} domains + shared interval counter = {} gates (< 2,500)\n",
+        e.gates_per_domain, e.controlled_domains, e.total_gates
+    ));
+    out
+}
+
+/// Renders Table 4 as text.
+pub fn render_table4() -> String {
+    let a = table4_arch_params();
+    let mut out = String::from("Table 4. Architectural parameters (Alpha 21264-like)\n");
+    out.push_str(&format!("  Decode / Issue / Retire width   {} / {} / {}\n", a.decode_width, a.int_issue_width + a.fp_issue_width, a.retire_width));
+    out.push_str(&format!("  Reorder buffer                  {} entries\n", a.rob_size));
+    out.push_str(&format!("  Integer / FP issue queues       {} / {} entries\n", a.int_iq_size, a.fp_iq_size));
+    out.push_str(&format!("  Load/store queue                {} entries\n", a.lsq_size));
+    out.push_str(&format!("  Physical registers              {} integer, {} floating-point\n", a.int_phys_regs, a.fp_phys_regs));
+    out.push_str(&format!("  Branch mispredict penalty       {} cycles\n", a.mispredict_penalty));
+    out.push_str(&format!(
+        "  L1 I/D caches                   {} KB, {}-way, {}-cycle\n",
+        a.l1d.size_bytes / 1024, a.l1d.ways, a.l1d.latency_cycles
+    ));
+    out.push_str(&format!(
+        "  L2 cache                        {} MB, {}-way, {}-cycle\n",
+        a.l2.size_bytes / (1024 * 1024), a.l2.ways, a.l2.latency_cycles
+    ));
+    out
+}
+
+/// Renders Table 5 (the benchmark inventory) as text.
+pub fn render_table5() -> String {
+    let mut out = String::from("Table 5. Benchmark applications (synthetic analogues)\n");
+    for b in Benchmark::ALL {
+        out.push_str(&format!(
+            "  {:12} {:26} paper window {:>6.1} M instructions\n",
+            b.name(),
+            b.suite().name(),
+            b.paper_window_minstr()
+        ));
+    }
+    out
+}
+
+/// A quick-look description of the default simulation configuration.
+pub fn default_sim_config(max_instructions: u64) -> SimConfig {
+    SimConfig::baseline_mcd(max_instructions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_values() {
+        let t1 = table1_mcd_params();
+        assert_eq!(t1.num_operating_points, 320);
+        let t4 = table4_arch_params();
+        assert_eq!(t4.rob_size, 80);
+        assert_eq!(table3_hardware_estimate().total_gates, 2016);
+        assert_eq!(paper_attack_decay_params().legend(), "1.750_06.0_0.175_2.5");
+    }
+
+    #[test]
+    fn rendered_tables_contain_key_numbers() {
+        assert!(render_table1().contains("49.1 ns/MHz"));
+        assert!(render_table1().contains("320 operating points"));
+        assert!(render_table2().contains("EndstopCount"));
+        assert!(render_table3().contains("476"));
+        assert!(render_table4().contains("80 entries"));
+        let t5 = render_table5();
+        assert!(t5.contains("mcf"));
+        assert!(t5.contains("epic"));
+        assert_eq!(t5.lines().count(), 31);
+    }
+}

@@ -1,0 +1,214 @@
+//! Bounded issue queue.
+//!
+//! Each execution domain (integer, floating point) has an issue queue at
+//! its input; the load/store domain's equivalent structure is the
+//! [`LoadStoreQueue`](crate::lsq::LoadStoreQueue).  The *occupancy* of these
+//! queues, accumulated per domain cycle, is the signal driving the
+//! Attack/Decay algorithm (paper Section 3), so the queue exposes its
+//! occupancy explicitly.
+//!
+//! Entries become *visible* to the issue logic only after the inter-domain
+//! synchronization delay of the dispatch crossing; the queue stores that
+//! visibility timestamp with each entry.
+
+use mcd_isa::SeqNum;
+
+/// A bounded issue queue holding dispatched-but-not-yet-issued instructions.
+#[derive(Debug, Clone)]
+pub struct IssueQueue {
+    capacity: usize,
+    /// (sequence number, time at which the entry becomes visible to the
+    /// issue logic of the owning domain).
+    entries: Vec<(SeqNum, u64)>,
+    /// Cumulative occupancy, incremented by `len()` once per domain cycle
+    /// via [`IssueQueue::accumulate_occupancy`].
+    occupancy_accumulator: u64,
+    /// Number of cycles accumulated.
+    accumulated_cycles: u64,
+}
+
+impl IssueQueue {
+    /// Creates an empty issue queue with the given capacity (20 integer /
+    /// 15 floating point in Table 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "issue queue capacity must be positive");
+        IssueQueue {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            occupancy_accumulator: 0,
+            accumulated_cycles: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue is full (dispatch must stall).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Inserts a dispatched instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(seq)` if the queue is full.
+    pub fn insert(&mut self, seq: SeqNum, visible_at_ps: u64) -> Result<(), SeqNum> {
+        if self.is_full() {
+            return Err(seq);
+        }
+        self.entries.push((seq, visible_at_ps));
+        Ok(())
+    }
+
+    /// Removes an entry (at issue time).  Returns `true` if it was present.
+    pub fn remove(&mut self, seq: SeqNum) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&(s, _)| s == seq) {
+            self.entries.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterator over `(seq, visible_at_ps)` pairs of entries that are
+    /// visible at `now_ps`, oldest first.
+    pub fn visible_entries(&self, now_ps: u64) -> impl Iterator<Item = SeqNum> + '_ {
+        let mut v: Vec<(SeqNum, u64)> = self
+            .entries
+            .iter()
+            .copied()
+            .filter(move |&(_, t)| t <= now_ps)
+            .collect();
+        v.sort_unstable_by_key(|&(s, _)| s);
+        v.into_iter().map(|(s, _)| s)
+    }
+
+    /// Iterator over all entries regardless of visibility.
+    pub fn iter(&self) -> impl Iterator<Item = SeqNum> + '_ {
+        self.entries.iter().map(|&(s, _)| s)
+    }
+
+    /// Adds the current occupancy to the per-interval accumulator.  The
+    /// simulator calls this once per domain cycle; the Attack/Decay
+    /// hardware is exactly this accumulator (Table 3's "queue utilization
+    /// counter").
+    pub fn accumulate_occupancy(&mut self) {
+        self.occupancy_accumulator += self.entries.len() as u64;
+        self.accumulated_cycles += 1;
+    }
+
+    /// Returns the average occupancy since the last reset and clears the
+    /// accumulator (called at control-interval boundaries).
+    pub fn take_average_occupancy(&mut self) -> f64 {
+        let avg = if self.accumulated_cycles == 0 {
+            0.0
+        } else {
+            self.occupancy_accumulator as f64 / self.accumulated_cycles as f64
+        };
+        self.occupancy_accumulator = 0;
+        self.accumulated_cycles = 0;
+        avg
+    }
+
+    /// The raw accumulator value (for tests and the hardware-cost analysis).
+    pub fn occupancy_accumulator(&self) -> u64 {
+        self.occupancy_accumulator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_and_capacity() {
+        let mut q = IssueQueue::new(3);
+        assert_eq!(q.capacity(), 3);
+        assert!(q.is_empty());
+        q.insert(1, 0).unwrap();
+        q.insert(2, 0).unwrap();
+        q.insert(3, 0).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.insert(4, 0), Err(4));
+        assert!(q.remove(2));
+        assert!(!q.remove(2));
+        assert_eq!(q.len(), 2);
+        q.insert(4, 0).unwrap();
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn visibility_gates_issue() {
+        let mut q = IssueQueue::new(8);
+        q.insert(10, 1_000).unwrap();
+        q.insert(11, 2_000).unwrap();
+        q.insert(12, 500).unwrap();
+        let visible: Vec<_> = q.visible_entries(1_000).collect();
+        assert_eq!(visible, vec![10, 12], "oldest-first among visible entries");
+        let visible: Vec<_> = q.visible_entries(5_000).collect();
+        assert_eq!(visible, vec![10, 11, 12]);
+        let visible: Vec<_> = q.visible_entries(0).collect();
+        assert!(visible.is_empty());
+    }
+
+    #[test]
+    fn occupancy_accumulation_and_reset() {
+        let mut q = IssueQueue::new(8);
+        q.insert(1, 0).unwrap();
+        q.insert(2, 0).unwrap();
+        for _ in 0..10 {
+            q.accumulate_occupancy();
+        }
+        assert_eq!(q.occupancy_accumulator(), 20);
+        let avg = q.take_average_occupancy();
+        assert!((avg - 2.0).abs() < 1e-12);
+        // Accumulator resets.
+        assert_eq!(q.occupancy_accumulator(), 0);
+        assert_eq!(q.take_average_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut q = IssueQueue::new(4);
+        for s in 0..20 {
+            let _ = q.insert(s, 0);
+            q.accumulate_occupancy();
+            assert!(q.len() <= q.capacity());
+        }
+        let avg = q.take_average_occupancy();
+        assert!(avg <= 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = IssueQueue::new(0);
+    }
+
+    #[test]
+    fn iter_returns_all_entries() {
+        let mut q = IssueQueue::new(4);
+        q.insert(7, 10).unwrap();
+        q.insert(8, 20).unwrap();
+        let mut all: Vec<_> = q.iter().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![7, 8]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # mcd-microarch
+//!
+//! Microarchitectural building blocks for the MCD out-of-order processor
+//! simulator: branch prediction, caches, the reorder buffer, issue queues,
+//! the load/store queue, register renaming resources and functional units.
+//!
+//! The components model the Alpha 21264-like configuration of the paper's
+//! Table 4 (see [`mcd_core`]'s presets for the exact numbers): a combining
+//! branch predictor with a 4096-set 2-way BTB, 64 KB 2-way L1 caches, a
+//! 1 MB direct-mapped L2, a 20-entry integer and 15-entry floating-point
+//! issue queue, a 64-entry load/store queue, an 80-entry reorder buffer and
+//! 72 + 72 physical registers.
+//!
+//! The components are deliberately independent of the clock-domain
+//! machinery: they operate on abstract cycles/timestamps supplied by the
+//! simulator (`mcd-sim`), which is what allows the same building blocks to
+//! model both the MCD and the fully synchronous configurations.
+//!
+//! [`mcd_core`]: https://docs.rs/mcd-core
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bpred;
+pub mod cache;
+pub mod func_units;
+pub mod issue_queue;
+pub mod lsq;
+pub mod regfile;
+pub mod rob;
+
+pub use bpred::{BranchPredictor, BranchPredictorConfig, BranchStats, Prediction};
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use func_units::{FuKind, FuPool, FuPoolConfig};
+pub use issue_queue::IssueQueue;
+pub use lsq::{LoadStoreQueue, LsqEntry, LsqIssue};
+pub use regfile::{RenameAllocator, RenameMap};
+pub use rob::{ReorderBuffer, RobEntry};

@@ -1,0 +1,384 @@
+//! Load/store queue (LSQ).
+//!
+//! The load/store domain's input queue: 64 entries in the paper's
+//! configuration (Table 4).  Memory operations enter in program order at
+//! dispatch; loads may issue out of order with respect to stores only when
+//! all older stores have known, non-conflicting addresses, and a load whose
+//! address matches an older store's receives its data by store-to-load
+//! forwarding.  The LSQ's occupancy drives the Attack/Decay controller for
+//! the load/store domain.
+
+use mcd_isa::{MemInfo, SeqNum};
+use serde::{Deserialize, Serialize};
+
+/// State of one memory operation in the LSQ.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LsqEntry {
+    /// Program-order sequence number.
+    pub seq: SeqNum,
+    /// Whether this is a store (else a load).
+    pub is_store: bool,
+    /// The access (address and size).
+    pub mem: MemInfo,
+    /// Time at which the entry becomes visible to the load/store domain's
+    /// issue logic (after the dispatch synchronization crossing).
+    pub visible_at_ps: u64,
+    /// Whether the address (and, for stores, the data) operands are ready.
+    pub operands_ready: bool,
+    /// Whether the operation has been issued to the cache (loads) or has
+    /// computed its address (stores).
+    pub issued: bool,
+    /// Whether the operation has completed execution.
+    pub completed: bool,
+}
+
+/// The issue decision for a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LsqIssue {
+    /// The load may access the data cache.
+    AccessCache,
+    /// The load receives its data from the identified older store
+    /// (store-to-load forwarding, 1-cycle latency).
+    Forward(SeqNum),
+    /// The load must wait: some older store has an unknown address or an
+    /// overlapping address whose data is not yet available.
+    Blocked,
+}
+
+/// A bounded, program-ordered load/store queue.
+#[derive(Debug, Clone)]
+pub struct LoadStoreQueue {
+    capacity: usize,
+    entries: Vec<LsqEntry>,
+    occupancy_accumulator: u64,
+    accumulated_cycles: u64,
+}
+
+impl LoadStoreQueue {
+    /// Creates an empty LSQ with the given capacity (64 in Table 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LSQ capacity must be positive");
+        LoadStoreQueue {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            occupancy_accumulator: 0,
+            accumulated_cycles: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the LSQ is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the LSQ is full (dispatch of memory operations must stall).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Inserts a memory operation at dispatch time (program order).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(seq)` if the queue is full or program order would be
+    /// violated.
+    pub fn insert(
+        &mut self,
+        seq: SeqNum,
+        is_store: bool,
+        mem: MemInfo,
+        visible_at_ps: u64,
+    ) -> Result<(), SeqNum> {
+        if self.is_full() {
+            return Err(seq);
+        }
+        if let Some(last) = self.entries.last() {
+            if seq <= last.seq {
+                return Err(seq);
+            }
+        }
+        self.entries.push(LsqEntry {
+            seq,
+            is_store,
+            mem,
+            visible_at_ps,
+            operands_ready: false,
+            issued: false,
+            completed: false,
+        });
+        Ok(())
+    }
+
+    fn find_mut(&mut self, seq: SeqNum) -> Option<&mut LsqEntry> {
+        self.entries.iter_mut().find(|e| e.seq == seq)
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, seq: SeqNum) -> Option<&LsqEntry> {
+        self.entries.iter().find(|e| e.seq == seq)
+    }
+
+    /// Marks an entry's operands (address and store data) as ready.
+    pub fn set_operands_ready(&mut self, seq: SeqNum) -> bool {
+        if let Some(e) = self.find_mut(seq) {
+            e.operands_ready = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks an entry as issued.
+    pub fn mark_issued(&mut self, seq: SeqNum) -> bool {
+        if let Some(e) = self.find_mut(seq) {
+            e.issued = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks an entry as completed.
+    pub fn mark_completed(&mut self, seq: SeqNum) -> bool {
+        if let Some(e) = self.find_mut(seq) {
+            e.completed = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes an entry (loads at completion, stores at commit).
+    pub fn remove(&mut self, seq: SeqNum) -> bool {
+        if let Some(pos) = self.entries.iter().position(|e| e.seq == seq) {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Decides whether the load `seq` may issue, considering all older
+    /// stores still in the queue.
+    ///
+    /// Conservative memory disambiguation: an older store with unready
+    /// operands (unknown address) blocks the load; an older store with an
+    /// overlapping address forwards if possible (most recent such store
+    /// wins); otherwise the load may access the cache.
+    pub fn load_issue_decision(&self, seq: SeqNum) -> LsqIssue {
+        let Some(load) = self.get(seq) else {
+            return LsqIssue::Blocked;
+        };
+        debug_assert!(!load.is_store);
+        let mut forward_from: Option<SeqNum> = None;
+        for e in self.entries.iter().filter(|e| e.is_store && e.seq < seq) {
+            if !e.operands_ready {
+                // Unknown store address: cannot disambiguate.
+                return LsqIssue::Blocked;
+            }
+            if e.mem.overlaps(&load.mem) {
+                // The store's data is available once its operands are ready;
+                // forwarding requires the store to cover the load completely.
+                if e.mem.addr <= load.mem.addr
+                    && e.mem.addr + e.mem.size as u64 >= load.mem.addr + load.mem.size as u64
+                {
+                    forward_from = Some(e.seq);
+                } else {
+                    // Partial overlap: wait until the store leaves the queue
+                    // (commits) before accessing the cache.
+                    return LsqIssue::Blocked;
+                }
+            }
+        }
+        match forward_from {
+            Some(s) => LsqIssue::Forward(s),
+            None => LsqIssue::AccessCache,
+        }
+    }
+
+    /// Sequence numbers of entries that are visible, ready and not yet
+    /// issued at `now_ps`, oldest first.
+    pub fn issue_candidates(&self, now_ps: u64) -> Vec<SeqNum> {
+        let mut v: Vec<SeqNum> = self
+            .entries
+            .iter()
+            .filter(|e| e.visible_at_ps <= now_ps && e.operands_ready && !e.issued)
+            .map(|e| e.seq)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Adds the current occupancy to the per-interval accumulator (once per
+    /// load/store-domain cycle).
+    pub fn accumulate_occupancy(&mut self) {
+        self.occupancy_accumulator += self.entries.len() as u64;
+        self.accumulated_cycles += 1;
+    }
+
+    /// Returns the average occupancy since the last reset and clears the
+    /// accumulator.
+    pub fn take_average_occupancy(&mut self) -> f64 {
+        let avg = if self.accumulated_cycles == 0 {
+            0.0
+        } else {
+            self.occupancy_accumulator as f64 / self.accumulated_cycles as f64
+        };
+        self.occupancy_accumulator = 0;
+        self.accumulated_cycles = 0;
+        avg
+    }
+
+    /// Iterator over all entries in program order.
+    pub fn iter(&self) -> impl Iterator<Item = &LsqEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(addr: u64, size: u8) -> MemInfo {
+        MemInfo::new(addr, size)
+    }
+
+    #[test]
+    fn insert_respects_capacity_and_order() {
+        let mut q = LoadStoreQueue::new(2);
+        q.insert(1, false, mem(0, 8), 0).unwrap();
+        assert_eq!(q.insert(1, true, mem(8, 8), 0), Err(1));
+        q.insert(2, true, mem(8, 8), 0).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.insert(3, false, mem(16, 8), 0), Err(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn load_with_no_older_stores_accesses_cache() {
+        let mut q = LoadStoreQueue::new(8);
+        q.insert(5, false, mem(0x100, 8), 0).unwrap();
+        q.set_operands_ready(5);
+        assert_eq!(q.load_issue_decision(5), LsqIssue::AccessCache);
+    }
+
+    #[test]
+    fn unknown_older_store_address_blocks_load() {
+        let mut q = LoadStoreQueue::new(8);
+        q.insert(1, true, mem(0x200, 8), 0).unwrap();
+        q.insert(2, false, mem(0x100, 8), 0).unwrap();
+        q.set_operands_ready(2);
+        assert_eq!(q.load_issue_decision(2), LsqIssue::Blocked);
+        // Once the store address is known and does not conflict, the load
+        // may proceed.
+        q.set_operands_ready(1);
+        assert_eq!(q.load_issue_decision(2), LsqIssue::AccessCache);
+    }
+
+    #[test]
+    fn overlapping_store_forwards_to_load() {
+        let mut q = LoadStoreQueue::new(8);
+        q.insert(1, true, mem(0x100, 8), 0).unwrap();
+        q.insert(2, false, mem(0x100, 8), 0).unwrap();
+        q.set_operands_ready(1);
+        q.set_operands_ready(2);
+        assert_eq!(q.load_issue_decision(2), LsqIssue::Forward(1));
+    }
+
+    #[test]
+    fn most_recent_overlapping_store_wins_forwarding() {
+        let mut q = LoadStoreQueue::new(8);
+        q.insert(1, true, mem(0x100, 8), 0).unwrap();
+        q.insert(2, true, mem(0x100, 8), 0).unwrap();
+        q.insert(3, false, mem(0x100, 8), 0).unwrap();
+        for s in 1..=3 {
+            q.set_operands_ready(s);
+        }
+        assert_eq!(q.load_issue_decision(3), LsqIssue::Forward(2));
+    }
+
+    #[test]
+    fn partial_overlap_blocks_load() {
+        let mut q = LoadStoreQueue::new(8);
+        q.insert(1, true, mem(0x104, 4), 0).unwrap();
+        q.insert(2, false, mem(0x100, 8), 0).unwrap();
+        q.set_operands_ready(1);
+        q.set_operands_ready(2);
+        assert_eq!(q.load_issue_decision(2), LsqIssue::Blocked);
+    }
+
+    #[test]
+    fn younger_stores_do_not_affect_load() {
+        let mut q = LoadStoreQueue::new(8);
+        q.insert(2, false, mem(0x100, 8), 0).unwrap();
+        q.insert(3, true, mem(0x100, 8), 0).unwrap();
+        q.set_operands_ready(2);
+        assert_eq!(q.load_issue_decision(2), LsqIssue::AccessCache);
+    }
+
+    #[test]
+    fn issue_candidates_filter_on_visibility_and_readiness() {
+        let mut q = LoadStoreQueue::new(8);
+        q.insert(1, false, mem(0, 8), 100).unwrap();
+        q.insert(2, false, mem(8, 8), 5_000).unwrap();
+        q.insert(3, true, mem(16, 8), 100).unwrap();
+        q.set_operands_ready(1);
+        q.set_operands_ready(2);
+        // seq 3 operands not ready; seq 2 not visible yet.
+        assert_eq!(q.issue_candidates(1_000), vec![1]);
+        q.mark_issued(1);
+        assert!(q.issue_candidates(1_000).is_empty());
+        q.set_operands_ready(3);
+        assert_eq!(q.issue_candidates(10_000), vec![2, 3]);
+    }
+
+    #[test]
+    fn lifecycle_flags_and_removal() {
+        let mut q = LoadStoreQueue::new(4);
+        q.insert(1, true, mem(0, 8), 0).unwrap();
+        assert!(q.set_operands_ready(1));
+        assert!(q.mark_issued(1));
+        assert!(q.mark_completed(1));
+        let e = q.get(1).unwrap();
+        assert!(e.operands_ready && e.issued && e.completed);
+        assert!(q.remove(1));
+        assert!(!q.remove(1));
+        assert!(!q.set_operands_ready(1));
+        assert!(!q.mark_issued(1));
+        assert!(!q.mark_completed(1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn occupancy_accumulation() {
+        let mut q = LoadStoreQueue::new(8);
+        q.insert(1, false, mem(0, 8), 0).unwrap();
+        q.insert(2, true, mem(8, 8), 0).unwrap();
+        q.insert(3, false, mem(16, 8), 0).unwrap();
+        for _ in 0..4 {
+            q.accumulate_occupancy();
+        }
+        assert!((q.take_average_occupancy() - 3.0).abs() < 1e-12);
+        assert_eq!(q.take_average_occupancy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = LoadStoreQueue::new(0);
+    }
+}

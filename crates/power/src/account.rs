@@ -1,0 +1,302 @@
+//! Energy accounting.
+//!
+//! [`EnergyAccount`] accumulates energy as the simulator runs: the timing
+//! model reports structure accesses (with the owning domain's instantaneous
+//! voltage), idle-cycle gating charges, per-domain clock cycles and main
+//! memory accesses; the account converts them to energy with the
+//! [`EnergyParams`] scaling laws and keeps per-structure and per-domain
+//! breakdowns for the reports.
+
+use mcd_clock::DomainId;
+use serde::{Deserialize, Serialize};
+
+use crate::model::EnergyParams;
+use crate::structures::Structure;
+
+/// Per-structure and per-domain energy breakdown of a finished run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Total energy (model units).
+    pub total: f64,
+    /// Energy per structure (stable [`Structure::ALL`] order).
+    pub by_structure: Vec<(Structure, f64)>,
+    /// Energy per domain (front end, integer, floating point, load/store,
+    /// external).
+    pub by_domain: Vec<(DomainId, f64)>,
+    /// Energy of the clock-distribution network (subset of the total).
+    pub clock: f64,
+    /// Energy charged while structures were idle (gating floor).
+    pub idle: f64,
+}
+
+impl EnergyBreakdown {
+    /// Fraction of the total spent in the clock network.
+    pub fn clock_fraction(&self) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            self.clock / self.total
+        }
+    }
+
+    /// Energy of one domain.
+    pub fn domain(&self, d: DomainId) -> f64 {
+        self.by_domain
+            .iter()
+            .find(|(dom, _)| *dom == d)
+            .map(|(_, e)| *e)
+            .unwrap_or(0.0)
+    }
+
+    /// Energy of one structure.
+    pub fn structure(&self, s: Structure) -> f64 {
+        self.by_structure
+            .iter()
+            .find(|(st, _)| *st == s)
+            .map(|(_, e)| *e)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Running energy accumulator.
+#[derive(Debug, Clone)]
+pub struct EnergyAccount {
+    params: EnergyParams,
+    by_structure: Vec<f64>,
+    idle: f64,
+    accesses: Vec<u64>,
+}
+
+impl EnergyAccount {
+    /// Creates an empty account.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail [`EnergyParams::validate`].
+    pub fn new(params: EnergyParams) -> Self {
+        params
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid energy parameters: {e}"));
+        EnergyAccount {
+            params,
+            by_structure: vec![0.0; Structure::ALL.len()],
+            idle: 0.0,
+            accesses: vec![0; Structure::ALL.len()],
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    fn index(s: Structure) -> usize {
+        Structure::ALL
+            .iter()
+            .position(|&x| x == s)
+            .expect("structure is in ALL")
+    }
+
+    /// Records `count` accesses to `structure` at the given supply voltage.
+    pub fn record_access(&mut self, structure: Structure, count: u64, voltage: f64) {
+        if count == 0 {
+            return;
+        }
+        let e = self.params.access_energy(structure)
+            * self.params.voltage_scale(voltage)
+            * count as f64;
+        self.by_structure[Self::index(structure)] += e;
+        self.accesses[Self::index(structure)] += count;
+    }
+
+    /// Records one idle (clock-gated) cycle of `structure` at the given
+    /// voltage: the gating floor fraction of one access energy.
+    pub fn record_idle_cycle(&mut self, structure: Structure, voltage: f64) {
+        let e = self.params.access_energy(structure)
+            * self.params.gating_floor
+            * self.params.voltage_scale(voltage);
+        self.by_structure[Self::index(structure)] += e;
+        self.idle += e;
+    }
+
+    /// Records one clock cycle of `domain`'s clock grid at the given
+    /// voltage.  `mcd_overhead` is the extra clock energy fraction of the
+    /// MCD design (0.10 in the paper's assumption, 0.0 for the fully
+    /// synchronous baseline).
+    pub fn record_clock_cycle(&mut self, domain: DomainId, voltage: f64, mcd_overhead: f64) {
+        let Some(clock) = Structure::clock_of(domain) else {
+            return;
+        };
+        let e = self.params.clock_energy(clock)
+            * (1.0 + mcd_overhead)
+            * self.params.voltage_scale(voltage);
+        self.by_structure[Self::index(clock)] += e;
+    }
+
+    /// Records one main-memory access (fixed energy, not voltage scaled).
+    pub fn record_memory_access(&mut self) {
+        self.by_structure[Self::index(Structure::MainMemory)] +=
+            self.params.main_memory_access_energy;
+        self.accesses[Self::index(Structure::MainMemory)] += 1;
+    }
+
+    /// Total energy accumulated so far.
+    pub fn total_energy(&self) -> f64 {
+        self.by_structure.iter().sum()
+    }
+
+    /// Total energy of the on-chip structures (excludes main memory), which
+    /// is the quantity the paper's energy savings refer to.
+    pub fn chip_energy(&self) -> f64 {
+        self.total_energy() - self.by_structure[Self::index(Structure::MainMemory)]
+    }
+
+    /// Number of accesses recorded for a structure.
+    pub fn access_count(&self, structure: Structure) -> u64 {
+        self.accesses[Self::index(structure)]
+    }
+
+    /// Produces the final breakdown.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        let by_structure: Vec<(Structure, f64)> = Structure::ALL
+            .iter()
+            .copied()
+            .zip(self.by_structure.iter().copied())
+            .collect();
+        let mut by_domain: Vec<(DomainId, f64)> =
+            DomainId::ALL.iter().map(|&d| (d, 0.0)).collect();
+        for (s, e) in &by_structure {
+            let d = s.domain();
+            if let Some(slot) = by_domain.iter_mut().find(|(dom, _)| *dom == d) {
+                slot.1 += e;
+            }
+        }
+        let clock = by_structure
+            .iter()
+            .filter(|(s, _)| s.is_clock())
+            .map(|(_, e)| e)
+            .sum();
+        EnergyBreakdown {
+            total: self.total_energy(),
+            by_structure,
+            by_domain,
+            clock,
+            idle: self.idle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn account() -> EnergyAccount {
+        EnergyAccount::new(EnergyParams::default())
+    }
+
+    #[test]
+    fn empty_account_has_zero_energy() {
+        let a = account();
+        assert_eq!(a.total_energy(), 0.0);
+        assert_eq!(a.chip_energy(), 0.0);
+        let b = a.breakdown();
+        assert_eq!(b.total, 0.0);
+        assert_eq!(b.clock_fraction(), 0.0);
+    }
+
+    #[test]
+    fn access_energy_scales_with_voltage_squared() {
+        let mut hi = account();
+        let mut lo = account();
+        hi.record_access(Structure::IntAlu, 100, 1.2);
+        lo.record_access(Structure::IntAlu, 100, 0.6);
+        assert!((lo.total_energy() / hi.total_energy() - 0.25).abs() < 1e-9);
+        assert_eq!(hi.access_count(Structure::IntAlu), 100);
+    }
+
+    #[test]
+    fn zero_count_access_is_free() {
+        let mut a = account();
+        a.record_access(Structure::L2Cache, 0, 1.2);
+        assert_eq!(a.total_energy(), 0.0);
+        assert_eq!(a.access_count(Structure::L2Cache), 0);
+    }
+
+    #[test]
+    fn idle_cycle_costs_the_gating_floor() {
+        let mut a = account();
+        a.record_idle_cycle(Structure::FpAlu, 1.2);
+        let expected = EnergyParams::default().access_energy(Structure::FpAlu) * 0.10;
+        assert!((a.total_energy() - expected).abs() < 1e-12);
+        assert!((a.breakdown().idle - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_cycle_with_mcd_overhead_costs_ten_percent_more() {
+        let mut sync = account();
+        let mut mcd = account();
+        for _ in 0..1000 {
+            sync.record_clock_cycle(DomainId::Integer, 1.2, 0.0);
+            mcd.record_clock_cycle(DomainId::Integer, 1.2, 0.10);
+        }
+        assert!((mcd.total_energy() / sync.total_energy() - 1.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn external_domain_has_no_clock_charge() {
+        let mut a = account();
+        a.record_clock_cycle(DomainId::External, 1.2, 0.10);
+        assert_eq!(a.total_energy(), 0.0);
+    }
+
+    #[test]
+    fn memory_access_is_not_voltage_scaled_and_excluded_from_chip_energy() {
+        let mut a = account();
+        a.record_memory_access();
+        a.record_access(Structure::L2Cache, 1, 1.2);
+        let mem = EnergyParams::default().main_memory_access_energy;
+        assert!((a.total_energy() - a.chip_energy() - mem).abs() < 1e-12);
+        assert!(a.chip_energy() > 0.0);
+    }
+
+    #[test]
+    fn breakdown_sums_match_total_and_domains() {
+        let mut a = account();
+        a.record_access(Structure::IntAlu, 50, 1.1);
+        a.record_access(Structure::L1DCache, 30, 0.9);
+        a.record_access(Structure::FpAlu, 10, 1.2);
+        a.record_clock_cycle(DomainId::FrontEnd, 1.2, 0.1);
+        a.record_idle_cycle(Structure::Lsq, 1.0);
+        a.record_memory_access();
+        let b = a.breakdown();
+        let structure_sum: f64 = b.by_structure.iter().map(|(_, e)| e).sum();
+        let domain_sum: f64 = b.by_domain.iter().map(|(_, e)| e).sum();
+        assert!((structure_sum - b.total).abs() < 1e-9);
+        assert!((domain_sum - b.total).abs() < 1e-9);
+        assert!(b.domain(DomainId::Integer) > 0.0);
+        assert!(b.domain(DomainId::LoadStore) > 0.0);
+        assert!(b.structure(Structure::IntAlu) > 0.0);
+        assert!(b.clock > 0.0 && b.clock < b.total);
+        assert!((b.total - a.total_energy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_voltage_clock_cycles_save_energy() {
+        let mut hi = account();
+        let mut lo = account();
+        for _ in 0..100 {
+            hi.record_clock_cycle(DomainId::FloatingPoint, 1.2, 0.1);
+            lo.record_clock_cycle(DomainId::FloatingPoint, 0.65, 0.1);
+        }
+        let expected = (0.65f64 / 1.2).powi(2);
+        assert!((lo.total_energy() / hi.total_energy() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid energy parameters")]
+    fn invalid_params_panic() {
+        let mut p = EnergyParams::default();
+        p.nominal_voltage = -1.0;
+        let _ = EnergyAccount::new(p);
+    }
+}

@@ -1,0 +1,1233 @@
+//! The MCD out-of-order processor model and its simulation loop.
+//!
+//! The simulator is time driven at domain-cycle granularity: each of the
+//! four on-chip domains has its own [`DomainClock`]; the main loop always
+//! advances to the earliest pending clock edge and executes one cycle of
+//! that domain.  Values crossing a domain boundary (dispatch into an issue
+//! queue, cross-domain operand wakeup, completion reports to the ROB,
+//! cache-miss traffic to memory) become visible in the destination domain
+//! only at the capture time computed by the [`SyncWindow`] rule, which is
+//! how the MCD synchronization penalties of the paper arise.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mcd_clock::{
+    DomainClock, DomainId, MegaHertz, OperatingPointTable, SyncWindow, TimePs, CONTROLLABLE_DOMAINS,
+};
+use mcd_control::{DomainSample, FrequencyController, IntervalSample, OfflineProfile};
+use mcd_isa::{DynInst, ExecClass, InstructionStream, OpClass, SeqNum};
+use mcd_microarch::{
+    BranchPredictor, Cache, FuKind, FuPool, FuPoolConfig, IssueQueue, LoadStoreQueue, LsqIssue,
+    Prediction, RenameAllocator, RenameMap, ReorderBuffer, RobEntry,
+};
+use mcd_power::{EnergyAccount, Structure};
+
+use crate::config::{ClockingMode, SimConfig};
+use crate::telemetry::{DomainTrace, IntervalRecord, SimResult};
+
+/// Abort the run if no instruction commits for this much simulated time
+/// (catches simulator bugs rather than real behaviour: even a chain of
+/// serialized main-memory misses commits every ~100 ns).
+const COMMIT_WATCHDOG_PS: TimePs = 200_000_000;
+
+/// Book-keeping for one in-flight instruction.
+#[derive(Debug, Clone)]
+struct InFlight {
+    inst: DynInst,
+    /// Sequence numbers of the producers of this instruction's sources.
+    producers: Vec<SeqNum>,
+    /// Whether execution finished.
+    completed: bool,
+    /// Time at which the result is visible in each domain (index =
+    /// `DomainId::index`), valid once `completed`.
+    visible_at: [TimePs; 5],
+    /// Whether the instruction has been issued to a functional unit.
+    issued: bool,
+    /// Fetch-time branch prediction (branches only).
+    prediction: Option<Prediction>,
+    /// Whether the branch was mispredicted (direction or target).
+    mispredicted: bool,
+}
+
+/// Per-domain interval counters feeding the controller.
+#[derive(Debug, Clone, Copy, Default)]
+struct DomainIntervalCounters {
+    cycles: u64,
+    busy_cycles: u64,
+    issued: u64,
+    cycles_at_interval_start: u64,
+}
+
+/// Per-domain cycle-weighted frequency accumulator (for reports).
+#[derive(Debug, Clone, Copy, Default)]
+struct FreqAccumulator {
+    weighted_sum: f64,
+    cycles: u64,
+}
+
+/// The simulated MCD processor.
+pub struct McdProcessor {
+    config: SimConfig,
+    table: OperatingPointTable,
+    controller: Box<dyn FrequencyController>,
+
+    // Clocking.
+    clocks: Vec<DomainClock>,
+    sync: SyncWindow,
+
+    // Front end.
+    predictor: BranchPredictor,
+    l1i: Cache,
+    rename_alloc: RenameAllocator,
+    rename_map: RenameMap,
+    rob: ReorderBuffer,
+    fetch_buffer: std::collections::VecDeque<DynInst>,
+    fetch_stalled_until: TimePs,
+    fetch_blocked_by: Option<SeqNum>,
+    stream_done: bool,
+
+    // Execution domains.
+    int_iq: IssueQueue,
+    fp_iq: IssueQueue,
+    lsq: LoadStoreQueue,
+    int_fus: FuPool,
+    fp_fus: FuPool,
+    mem_fus: FuPool,
+    l1d: Cache,
+    l2: Cache,
+    /// Pending completions per domain: (completion time, seq).
+    pending_completions: Vec<Vec<(TimePs, SeqNum)>>,
+
+    // In-flight instruction table.
+    inflight: HashMap<SeqNum, InFlight>,
+    /// Predictions made at fetch time, consumed at dispatch.
+    pending_predictions: HashMap<SeqNum, Prediction>,
+
+    // Energy.
+    energy: EnergyAccount,
+
+    // Statistics.
+    committed: u64,
+    mispredict_redirects: u64,
+    memory_accesses: u64,
+    interval_index: u64,
+    frontend_cycles_at_interval_start: u64,
+    domain_counters: [DomainIntervalCounters; 5],
+    freq_acc: [FreqAccumulator; 5],
+    first_commit_ps: Option<TimePs>,
+    last_commit_ps: TimePs,
+    intervals: Vec<IntervalRecord>,
+    profile: OfflineProfile,
+    #[allow(dead_code)]
+    rng: StdRng,
+}
+
+impl McdProcessor {
+    /// Builds a processor from a configuration and a frequency controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn new(config: SimConfig, controller: Box<dyn FrequencyController>) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid simulator configuration: {e}"));
+        let table = OperatingPointTable::from_params(&config.clock);
+        let max_freq = table.max_point().freq_mhz;
+
+        let synchronous = config.clocking == ClockingMode::FullySynchronous;
+        let clocks: Vec<DomainClock> = DomainId::ALL
+            .iter()
+            .map(|&d| {
+                let initial = controller
+                    .initial_freq_mhz(d)
+                    .map(|f| table.nearest(f).freq_mhz)
+                    .unwrap_or(if d == DomainId::External {
+                        config.clock.external_freq_mhz
+                    } else {
+                        max_freq
+                    });
+                // In fully synchronous mode every on-chip domain shares one
+                // phase and has no jitter; in MCD mode each domain gets its
+                // own randomized phase and jitter stream.
+                let seed = if synchronous {
+                    config.seed
+                } else {
+                    config.seed.wrapping_add(d.index() as u64 * 0x9e37)
+                };
+                DomainClock::new(
+                    d,
+                    initial,
+                    config.clock.freq_change_rate_ns_per_mhz,
+                    if synchronous { 0.0 } else { config.clock.jitter_sigma_ps },
+                    seed,
+                )
+            })
+            .collect();
+
+        let sync = SyncWindow::new(if synchronous { 0 } else { config.clock.sync_window_ps });
+
+        McdProcessor {
+            predictor: BranchPredictor::new(config.arch.branch_predictor.clone()),
+            l1i: Cache::new(config.arch.l1i),
+            l1d: Cache::new(config.arch.l1d),
+            l2: Cache::new(config.arch.l2),
+            rename_alloc: RenameAllocator::new(
+                config.arch.int_phys_regs,
+                config.arch.fp_phys_regs,
+                32,
+                32,
+            ),
+            rename_map: RenameMap::new(),
+            rob: ReorderBuffer::new(config.arch.rob_size),
+            fetch_buffer: std::collections::VecDeque::with_capacity(config.arch.fetch_buffer_size),
+            fetch_stalled_until: 0,
+            fetch_blocked_by: None,
+            stream_done: false,
+            int_iq: IssueQueue::new(config.arch.int_iq_size),
+            fp_iq: IssueQueue::new(config.arch.fp_iq_size),
+            lsq: LoadStoreQueue::new(config.arch.lsq_size),
+            int_fus: FuPool::new(FuPoolConfig::integer_domain()),
+            fp_fus: FuPool::new(FuPoolConfig::fp_domain()),
+            mem_fus: FuPool::new(FuPoolConfig::loadstore_domain()),
+            pending_completions: vec![Vec::new(); 5],
+            inflight: HashMap::new(),
+            pending_predictions: HashMap::new(),
+            energy: EnergyAccount::new(config.energy.clone()),
+            committed: 0,
+            mispredict_redirects: 0,
+            memory_accesses: 0,
+            interval_index: 0,
+            frontend_cycles_at_interval_start: 0,
+            domain_counters: Default::default(),
+            freq_acc: Default::default(),
+            first_commit_ps: None,
+            last_commit_ps: 0,
+            intervals: Vec::new(),
+            profile: OfflineProfile::new(),
+            rng: StdRng::seed_from_u64(config.seed ^ 0x5eed),
+            clocks,
+            sync,
+            table,
+            controller,
+            config,
+        }
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Pre-loads the cache hierarchy with the given `(base, length)`
+    /// regions, modelling the warm caches a mid-execution simulation window
+    /// starts with (the paper fast-forwards hundreds of millions of
+    /// instructions before measuring).  The first region is treated as code
+    /// (warms the L1 I-cache), the rest as data (warm the L1 D-cache up to
+    /// its capacity and the L2 throughout).
+    pub fn warm_caches(&mut self, regions: &[(u64, u64)]) {
+        for (i, &(base, len)) in regions.iter().enumerate() {
+            let line = 64u64;
+            let mut addr = base & !(line - 1);
+            let mut warmed = 0u64;
+            while addr < base + len {
+                self.l2.warm(addr);
+                if i == 0 {
+                    self.l1i.warm(addr);
+                } else if warmed < self.config.arch.l1d.size_bytes {
+                    self.l1d.warm(addr);
+                }
+                addr += line;
+                warmed += line;
+            }
+        }
+    }
+
+    fn clock(&self, d: DomainId) -> &DomainClock {
+        &self.clocks[d.index()]
+    }
+
+    fn voltage(&self, d: DomainId) -> f64 {
+        if d == DomainId::External {
+            return self.config.clock.max_voltage;
+        }
+        self.table.voltage_for_freq(self.clocks[d.index()].current_freq_mhz())
+    }
+
+    fn mcd_overhead(&self) -> f64 {
+        match self.config.clocking {
+            ClockingMode::Mcd => self.config.clock.mcd_clock_energy_overhead,
+            ClockingMode::FullySynchronous => 0.0,
+        }
+    }
+
+    /// Time at which a value produced at `t` in `from` becomes visible in
+    /// `to`.
+    fn cross_domain_visible(&self, t: TimePs, from: DomainId, to: DomainId) -> TimePs {
+        if from == to {
+            return t;
+        }
+        let dst = self.clock(to);
+        self.sync.capture_time(t, dst.next_edge_ps(), dst.current_period_ps())
+    }
+
+    /// Fills the per-domain visibility vector for a result produced at `t`
+    /// in `from`.
+    fn visibility_vector(&self, t: TimePs, from: DomainId) -> [TimePs; 5] {
+        let mut v = [t; 5];
+        for d in DomainId::ALL {
+            v[d.index()] = self.cross_domain_visible(t, from, d);
+        }
+        v
+    }
+
+    /// Whether the producer `seq` has a result visible in `domain` at
+    /// `now`.  Retired producers are always visible (their value lives in
+    /// architectural state).
+    fn producer_ready(&self, seq: SeqNum, domain: DomainId, now: TimePs) -> bool {
+        match self.inflight.get(&seq) {
+            None => true,
+            Some(p) => p.completed && p.visible_at[domain.index()] <= now,
+        }
+    }
+
+    fn operands_ready(&self, seq: SeqNum, domain: DomainId, now: TimePs) -> bool {
+        let Some(entry) = self.inflight.get(&seq) else {
+            return false;
+        };
+        entry
+            .producers
+            .iter()
+            .all(|&p| self.producer_ready(p, domain, now))
+    }
+
+    fn exec_domain_of(op: OpClass) -> DomainId {
+        match op.exec_class() {
+            ExecClass::IntAlu | ExecClass::IntMultDiv | ExecClass::Branch => DomainId::Integer,
+            ExecClass::FpAlu | ExecClass::FpMultDiv => DomainId::FloatingPoint,
+            ExecClass::Mem => DomainId::LoadStore,
+            ExecClass::None => DomainId::Integer,
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Front-end cycle.
+    // ----------------------------------------------------------------
+
+    fn frontend_cycle(&mut self, now: TimePs, stream: &mut dyn InstructionStream) {
+        let voltage = self.voltage(DomainId::FrontEnd);
+        let mut accessed_bpred = false;
+        let mut accessed_icache = false;
+        let mut accessed_rename = false;
+        let mut accessed_rob = false;
+
+        // ---- Commit ----
+        let mut retired = 0;
+        while retired < self.config.arch.retire_width
+            && self.committed < self.config.max_instructions
+        {
+            let Some(entry) = self.rob.retire_head(now) else { break };
+            accessed_rob = true;
+            self.energy.record_access(Structure::Rob, 1, voltage);
+            self.retire(entry, now, voltage);
+            retired += 1;
+            if self.committed % self.config.interval_instructions == 0 {
+                self.end_interval(now);
+            }
+            if self.committed >= self.config.max_instructions {
+                break;
+            }
+        }
+
+        // ---- Fetch ----
+        let can_fetch = now >= self.fetch_stalled_until
+            && self.fetch_blocked_by.is_none()
+            && !self.stream_done;
+        if can_fetch {
+            let mut fetched = 0;
+            while fetched < self.config.arch.decode_width
+                && self.fetch_buffer.len() < self.config.arch.fetch_buffer_size
+            {
+                let Some(inst) = stream.next_inst() else {
+                    self.stream_done = true;
+                    break;
+                };
+                accessed_icache = true;
+                let icache_hit = self.l1i.access(inst.pc, false);
+                self.energy.record_access(Structure::L1ICache, 1, voltage);
+                if !icache_hit {
+                    // Instruction fetch miss: probe the L2 and stall fetch for
+                    // the refill latency (misses to memory are rare for the
+                    // synthetic code footprints, which fit in the L2).
+                    let l2_hit = self.l2.access(inst.pc, false);
+                    self.energy
+                        .record_access(Structure::L2Cache, 1, self.voltage(DomainId::LoadStore));
+                    let period = self.clock(DomainId::FrontEnd).current_period_ps();
+                    let l2_lat = u64::from(self.config.arch.l2.latency_cycles) * period;
+                    let stall = if l2_hit {
+                        l2_lat
+                    } else {
+                        self.memory_accesses += 1;
+                        self.energy.record_memory_access();
+                        l2_lat + self.config.clock.main_memory_latency_ps()
+                    };
+                    self.fetch_stalled_until = now + stall;
+                }
+
+                let mut fetched_inst = inst;
+                if inst.op.is_branch() {
+                    accessed_bpred = true;
+                    self.energy.record_access(Structure::BranchPredictor, 1, voltage);
+                    let pred = self.predictor.predict(inst.pc, inst.op);
+                    // Record prediction; resolution happens at execute.
+                    fetched_inst = inst;
+                    self.fetch_buffer.push_back(fetched_inst);
+                    // Stash the prediction by pre-creating the in-flight
+                    // record at dispatch time; store it temporarily in a side
+                    // map keyed by seq.
+                    self.pending_predictions.insert(inst.seq, pred);
+                    fetched += 1;
+                    // Determine whether this prediction will turn out wrong;
+                    // if so we cannot fetch past it (the front end would be
+                    // fetching the wrong path).
+                    let actual = inst.branch.expect("branch has branch info");
+                    let wrong_direction = pred.taken != actual.taken;
+                    let wrong_target = actual.taken && pred.target != Some(actual.target);
+                    if wrong_direction || wrong_target {
+                        self.fetch_blocked_by = Some(inst.seq);
+                        break;
+                    }
+                    continue;
+                }
+                self.fetch_buffer.push_back(fetched_inst);
+                fetched += 1;
+                if !icache_hit {
+                    // Miss: stop fetching this cycle.
+                    break;
+                }
+            }
+        }
+
+        // ---- Rename / dispatch ----
+        let mut dispatched = 0;
+        while dispatched < self.config.arch.decode_width {
+            let Some(&inst) = self.fetch_buffer.front() else { break };
+            if self.rob.is_full() {
+                break;
+            }
+            // Structural resources in the target domain.
+            let target_domain = Self::exec_domain_of(inst.op);
+            let queue_ok = match target_domain {
+                DomainId::Integer => !self.int_iq.is_full(),
+                DomainId::FloatingPoint => !self.fp_iq.is_full(),
+                DomainId::LoadStore => !self.lsq.is_full(),
+                _ => true,
+            };
+            if !queue_ok {
+                break;
+            }
+            // Physical register for the destination.
+            if let Some(dst) = inst.dst {
+                if !dst.is_zero() && !self.rename_alloc.try_alloc(dst.class()) {
+                    break;
+                }
+            }
+
+            self.fetch_buffer.pop_front();
+            accessed_rename = true;
+            accessed_rob = true;
+            self.energy.record_access(Structure::Rename, 1, voltage);
+            self.energy.record_access(Structure::Rob, 1, voltage);
+
+            // Rename: record producers, then claim the destination.
+            let producers: Vec<SeqNum> = inst
+                .sources()
+                .filter_map(|r| self.rename_map.producer(r))
+                .collect();
+            if let Some(dst) = inst.dst {
+                self.rename_map.set_producer(dst, inst.seq);
+            }
+
+            // Dispatch into the target domain's queue, paying the
+            // synchronization crossing.
+            let visible_at = self.cross_domain_visible(now, DomainId::FrontEnd, target_domain);
+            let prediction = self.pending_predictions.remove(&inst.seq);
+            let mut rob_entry = RobEntry::new(inst.seq, inst.op);
+
+            match target_domain {
+                DomainId::Integer if inst.op != OpClass::Nop => {
+                    self.int_iq
+                        .insert(inst.seq, visible_at)
+                        .expect("checked not full");
+                    self.energy
+                        .record_access(Structure::IntIssueQueue, 1, self.voltage(DomainId::Integer));
+                }
+                DomainId::FloatingPoint => {
+                    self.fp_iq
+                        .insert(inst.seq, visible_at)
+                        .expect("checked not full");
+                    self.energy.record_access(
+                        Structure::FpIssueQueue,
+                        1,
+                        self.voltage(DomainId::FloatingPoint),
+                    );
+                }
+                DomainId::LoadStore => {
+                    let mem = inst.mem.expect("memory op has address");
+                    self.lsq
+                        .insert(inst.seq, inst.is_store(), mem, visible_at)
+                        .expect("checked not full");
+                    self.energy
+                        .record_access(Structure::Lsq, 1, self.voltage(DomainId::LoadStore));
+                }
+                _ => {}
+            }
+
+            // Determine misprediction state for branches.
+            let mut mispredicted = false;
+            if let (Some(pred), Some(actual)) = (prediction, inst.branch) {
+                let wrong_direction = pred.taken != actual.taken;
+                let wrong_target = actual.taken && pred.target != Some(actual.target);
+                mispredicted = wrong_direction || wrong_target;
+                if mispredicted {
+                    rob_entry.mispredicted = true;
+                }
+            }
+
+            let mut entry = InFlight {
+                inst,
+                producers,
+                completed: false,
+                visible_at: [0; 5],
+                issued: false,
+                prediction,
+                mispredicted,
+            };
+
+            // NOPs complete instantly.
+            if inst.op == OpClass::Nop {
+                entry.completed = true;
+                entry.visible_at = [now; 5];
+                rob_entry.completed = true;
+                rob_entry.completion_visible_ps = now;
+            }
+
+            self.rob.push(rob_entry).expect("checked not full");
+            self.inflight.insert(inst.seq, entry);
+            dispatched += 1;
+        }
+
+        // ---- Occupancy and gating ----
+        self.domain_counters[DomainId::FrontEnd.index()].cycles += 1;
+        if dispatched > 0 || retired > 0 {
+            self.domain_counters[DomainId::FrontEnd.index()].busy_cycles += 1;
+        }
+        self.domain_counters[DomainId::FrontEnd.index()].issued += dispatched as u64;
+
+        for (used, s) in [
+            (accessed_bpred, Structure::BranchPredictor),
+            (accessed_icache, Structure::L1ICache),
+            (accessed_rename, Structure::Rename),
+            (accessed_rob, Structure::Rob),
+        ] {
+            if !used {
+                self.energy.record_idle_cycle(s, voltage);
+            }
+        }
+        self.energy
+            .record_clock_cycle(DomainId::FrontEnd, voltage, self.mcd_overhead());
+        let fa = &mut self.freq_acc[DomainId::FrontEnd.index()];
+        fa.weighted_sum += self.clocks[DomainId::FrontEnd.index()].current_freq_mhz();
+        fa.cycles += 1;
+    }
+
+    fn retire(&mut self, entry: RobEntry, now: TimePs, fe_voltage: f64) {
+        self.committed += 1;
+        if self.first_commit_ps.is_none() {
+            self.first_commit_ps = Some(now);
+        }
+        self.last_commit_ps = now;
+
+        let inflight = self.inflight.remove(&entry.seq);
+        if let Some(fl) = &inflight {
+            // Free rename resources.
+            if let Some(dst) = fl.inst.dst {
+                if !dst.is_zero() {
+                    self.rename_alloc.release(dst.class());
+                    self.rename_map.clear_if_producer(dst, entry.seq);
+                }
+            }
+            // Stores write the data cache at commit.
+            if fl.inst.is_store() {
+                if let Some(mem) = fl.inst.mem {
+                    let ls_voltage = self.voltage(DomainId::LoadStore);
+                    let hit = self.l1d.access(mem.addr, true);
+                    self.energy.record_access(Structure::L1DCache, 1, ls_voltage);
+                    if !hit {
+                        let l2_hit = self.l2.access(mem.addr, true);
+                        self.energy.record_access(Structure::L2Cache, 1, ls_voltage);
+                        if !l2_hit {
+                            self.memory_accesses += 1;
+                            self.energy.record_memory_access();
+                        }
+                    }
+                }
+            }
+            // Memory operations leave the LSQ at retire.
+            if fl.inst.is_mem() {
+                self.lsq.remove(entry.seq);
+            }
+        }
+        let _ = fe_voltage;
+    }
+
+    // ----------------------------------------------------------------
+    // Execution-domain cycles (integer / floating point).
+    // ----------------------------------------------------------------
+
+    fn exec_domain_cycle(&mut self, domain: DomainId, now: TimePs) {
+        debug_assert!(matches!(domain, DomainId::Integer | DomainId::FloatingPoint));
+        let voltage = self.voltage(domain);
+        let period = self.clock(domain).current_period_ps();
+
+        // ---- Writeback of finished executions ----
+        self.drain_completions(domain, now);
+
+        // ---- Wakeup / select / issue ----
+        let issue_width = if domain == DomainId::Integer {
+            self.config.arch.int_issue_width
+        } else {
+            self.config.arch.fp_issue_width
+        };
+        let candidates: Vec<SeqNum> = if domain == DomainId::Integer {
+            self.int_iq.visible_entries(now).collect()
+        } else {
+            self.fp_iq.visible_entries(now).collect()
+        };
+
+        let mut issued = 0usize;
+        for seq in candidates {
+            if issued >= issue_width {
+                break;
+            }
+            if !self.operands_ready(seq, domain, now) {
+                continue;
+            }
+            let (op, latency_cycles) = {
+                let fl = &self.inflight[&seq];
+                (fl.inst.op, fl.inst.op.latency())
+            };
+            let fu_kind = FuKind::for_exec_class(op.exec_class()).unwrap_or(FuKind::IntAlu);
+            // Completion and functional-unit occupancy are scheduled half a
+            // period early so that per-edge jitter can never push the
+            // completing edge past the nominal latency and charge a spurious
+            // extra cycle.
+            let margin = period / 2;
+            let latency_ps = (u64::from(latency_cycles) * period).saturating_sub(margin);
+            let busy_until = if op.pipelined() {
+                now + period - margin
+            } else {
+                now + latency_ps
+            };
+            let fus = if domain == DomainId::Integer { &mut self.int_fus } else { &mut self.fp_fus };
+            if !fus.try_issue(fu_kind, now, busy_until) {
+                continue;
+            }
+            // Issue.
+            if domain == DomainId::Integer {
+                self.int_iq.remove(seq);
+                self.energy.record_access(Structure::IntIssueQueue, 1, voltage);
+                self.energy.record_access(Structure::IntRegFile, 2, voltage);
+                self.energy.record_access(Structure::IntAlu, 1, voltage);
+            } else {
+                self.fp_iq.remove(seq);
+                self.energy.record_access(Structure::FpIssueQueue, 1, voltage);
+                self.energy.record_access(Structure::FpRegFile, 2, voltage);
+                self.energy.record_access(Structure::FpAlu, 1, voltage);
+            }
+            if let Some(fl) = self.inflight.get_mut(&seq) {
+                fl.issued = true;
+            }
+            self.pending_completions[domain.index()].push((now + latency_ps.max(1), seq));
+            issued += 1;
+        }
+
+        // ---- Occupancy / counters / gating ----
+        let counters = &mut self.domain_counters[domain.index()];
+        counters.cycles += 1;
+        if issued > 0 {
+            counters.busy_cycles += 1;
+        }
+        counters.issued += issued as u64;
+
+        if domain == DomainId::Integer {
+            self.int_iq.accumulate_occupancy();
+            if issued == 0 {
+                self.energy.record_idle_cycle(Structure::IntIssueQueue, voltage);
+                self.energy.record_idle_cycle(Structure::IntAlu, voltage);
+                self.energy.record_idle_cycle(Structure::IntRegFile, voltage);
+            }
+        } else {
+            self.fp_iq.accumulate_occupancy();
+            if issued == 0 {
+                self.energy.record_idle_cycle(Structure::FpIssueQueue, voltage);
+                self.energy.record_idle_cycle(Structure::FpAlu, voltage);
+                self.energy.record_idle_cycle(Structure::FpRegFile, voltage);
+            }
+        }
+        self.energy.record_clock_cycle(domain, voltage, self.mcd_overhead());
+        let fa = &mut self.freq_acc[domain.index()];
+        fa.weighted_sum += self.clocks[domain.index()].current_freq_mhz();
+        fa.cycles += 1;
+    }
+
+    // ----------------------------------------------------------------
+    // Load/store-domain cycle.
+    // ----------------------------------------------------------------
+
+    fn loadstore_cycle(&mut self, now: TimePs) {
+        let domain = DomainId::LoadStore;
+        let voltage = self.voltage(domain);
+        let period = self.clock(domain).current_period_ps();
+
+        // ---- Writeback of finished memory operations ----
+        self.drain_completions(domain, now);
+
+        // ---- Address-readiness update ----
+        let lsq_seqs: Vec<SeqNum> = self.lsq.iter().map(|e| e.seq).collect();
+        for seq in lsq_seqs {
+            let ready = {
+                let Some(e) = self.lsq.get(seq) else { continue };
+                if e.operands_ready {
+                    continue;
+                }
+                self.operands_ready(seq, domain, now)
+            };
+            if ready {
+                self.lsq.set_operands_ready(seq);
+            }
+        }
+
+        // ---- Issue memory operations ----
+        let candidates = self.lsq.issue_candidates(now);
+        let mut issued = 0usize;
+        for seq in candidates {
+            if issued >= self.config.arch.mem_issue_width {
+                break;
+            }
+            let Some(entry) = self.lsq.get(seq).copied() else { continue };
+            // Half-period scheduling margin (see `exec_domain_cycle`).
+            let margin = period / 2;
+            let one_cycle = now + period - margin;
+            let completion = if entry.is_store {
+                // Stores complete (for the ROB) once their address and data
+                // are known; the cache write happens at commit.
+                Some(one_cycle)
+            } else {
+                match self.lsq.load_issue_decision(seq) {
+                    LsqIssue::Blocked => None,
+                    LsqIssue::Forward(_) => {
+                        if self.mem_fus.try_issue(FuKind::MemPort, now, one_cycle) {
+                            self.energy.record_access(Structure::Lsq, 1, voltage);
+                            Some(one_cycle)
+                        } else {
+                            None
+                        }
+                    }
+                    LsqIssue::AccessCache => {
+                        if self.mem_fus.try_issue(FuKind::MemPort, now, one_cycle) {
+                            self.energy.record_access(Structure::Lsq, 1, voltage);
+                            Some(self.data_access_latency(entry.mem.addr, now, period, voltage))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            };
+            if let Some(done_at) = completion {
+                self.lsq.mark_issued(seq);
+                if let Some(fl) = self.inflight.get_mut(&seq) {
+                    fl.issued = true;
+                }
+                self.pending_completions[domain.index()].push((done_at, seq));
+                issued += 1;
+            }
+        }
+
+        // ---- Occupancy / counters / gating ----
+        let counters = &mut self.domain_counters[domain.index()];
+        counters.cycles += 1;
+        if issued > 0 {
+            counters.busy_cycles += 1;
+        }
+        counters.issued += issued as u64;
+        self.lsq.accumulate_occupancy();
+        if issued == 0 {
+            self.energy.record_idle_cycle(Structure::Lsq, voltage);
+            self.energy.record_idle_cycle(Structure::L1DCache, voltage);
+        }
+        self.energy.record_clock_cycle(domain, voltage, self.mcd_overhead());
+        let fa = &mut self.freq_acc[domain.index()];
+        fa.weighted_sum += self.clocks[domain.index()].current_freq_mhz();
+        fa.cycles += 1;
+    }
+
+    /// Computes the completion time of a load that accesses the cache
+    /// hierarchy, charging the corresponding energies.
+    fn data_access_latency(&mut self, addr: u64, now: TimePs, period: TimePs, voltage: f64) -> TimePs {
+        // Half-period scheduling margin (see `exec_domain_cycle`).
+        let margin = period / 2;
+        let l1_hit = self.l1d.access(addr, false);
+        self.energy.record_access(Structure::L1DCache, 1, voltage);
+        let l1_lat = u64::from(self.config.arch.l1d.latency_cycles) * period;
+        if l1_hit {
+            return now + l1_lat - margin;
+        }
+        let l2_hit = self.l2.access(addr, false);
+        self.energy.record_access(Structure::L2Cache, 1, voltage);
+        let l2_lat = u64::from(self.config.arch.l2.latency_cycles) * period;
+        if l2_hit {
+            return now + l1_lat + l2_lat - margin;
+        }
+        // Miss to main memory: fixed access time plus a synchronization
+        // crossing into and out of the external domain.
+        self.memory_accesses += 1;
+        self.energy.record_memory_access();
+        let to_mem = self.cross_domain_visible(now + l1_lat + l2_lat, DomainId::LoadStore, DomainId::External);
+        let mem_done = to_mem + self.config.clock.main_memory_latency_ps();
+        let back = self.cross_domain_visible(mem_done, DomainId::External, DomainId::LoadStore);
+        back + period - margin
+    }
+
+    /// Applies writeback for every pending completion of `domain` whose
+    /// time has arrived.
+    fn drain_completions(&mut self, domain: DomainId, now: TimePs) {
+        let pending = &mut self.pending_completions[domain.index()];
+        let mut done: Vec<(TimePs, SeqNum)> = Vec::new();
+        pending.retain(|&(t, seq)| {
+            if t <= now {
+                done.push((t, seq));
+                false
+            } else {
+                true
+            }
+        });
+        done.sort_unstable();
+        for (t, seq) in done {
+            self.writeback(seq, t.max(now), domain);
+        }
+    }
+
+    fn writeback(&mut self, seq: SeqNum, t: TimePs, domain: DomainId) {
+        let visible = self.visibility_vector(t, domain);
+        let (is_branch, mispredicted, pc, op, prediction, branch_info, is_load) = {
+            let Some(fl) = self.inflight.get_mut(&seq) else { return };
+            fl.completed = true;
+            fl.visible_at = visible;
+            (
+                fl.inst.is_branch(),
+                fl.mispredicted,
+                fl.inst.pc,
+                fl.inst.op,
+                fl.prediction,
+                fl.inst.branch,
+                fl.inst.is_load(),
+            )
+        };
+        // Completion report to the ROB (front-end domain).
+        let fe_visible = visible[DomainId::FrontEnd.index()];
+        self.rob.mark_completed(seq, fe_visible);
+        self.energy.record_access(
+            Structure::ResultBus,
+            1,
+            self.voltage(DomainId::FrontEnd),
+        );
+        if is_load {
+            self.lsq.mark_completed(seq);
+        }
+
+        // Branch resolution: train the predictor and, on a misprediction,
+        // restart fetch after the redirect penalty.
+        if is_branch {
+            if let (Some(pred), Some(actual)) = (prediction, branch_info) {
+                self.predictor.update(pc, op, pred, actual.taken, actual.target);
+            }
+            if mispredicted {
+                self.mispredict_redirects += 1;
+                let fe_period = self.clock(DomainId::FrontEnd).current_period_ps();
+                let resume =
+                    fe_visible + u64::from(self.config.arch.mispredict_penalty) * fe_period;
+                self.fetch_stalled_until = self.fetch_stalled_until.max(resume);
+                if self.fetch_blocked_by == Some(seq) {
+                    self.fetch_blocked_by = None;
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Control intervals.
+    // ----------------------------------------------------------------
+
+    fn end_interval(&mut self, now: TimePs) {
+        let fe_cycles_total = self.clocks[DomainId::FrontEnd.index()].cycles();
+        let frontend_cycles = fe_cycles_total - self.frontend_cycles_at_interval_start;
+        self.frontend_cycles_at_interval_start = fe_cycles_total;
+        let instructions = self.config.interval_instructions;
+        let ipc = if frontend_cycles == 0 {
+            0.0
+        } else {
+            instructions as f64 / frontend_cycles as f64
+        };
+
+        let mut domain_samples = Vec::with_capacity(3);
+        for d in CONTROLLABLE_DOMAINS {
+            let util = match d {
+                DomainId::Integer => self.int_iq.take_average_occupancy(),
+                DomainId::FloatingPoint => self.fp_iq.take_average_occupancy(),
+                DomainId::LoadStore => self.lsq.take_average_occupancy(),
+                _ => 0.0,
+            };
+            let counters = &mut self.domain_counters[d.index()];
+            let cycles = counters.cycles - counters.cycles_at_interval_start;
+            counters.cycles_at_interval_start = counters.cycles;
+            let busy = counters.busy_cycles;
+            let issued = counters.issued;
+            counters.busy_cycles = 0;
+            counters.issued = 0;
+            domain_samples.push(DomainSample {
+                domain: d,
+                queue_utilization: util,
+                domain_cycles: cycles,
+                busy_cycles: busy,
+                issued_instructions: issued,
+                freq_mhz: self.clocks[d.index()].target_freq_mhz(),
+            });
+        }
+
+        // Profile for the off-line oracle.
+        self.profile.push_interval(domain_samples.clone());
+
+        let sample = IntervalSample {
+            interval: self.interval_index,
+            instructions,
+            frontend_cycles,
+            ipc,
+            domains: domain_samples.clone(),
+        };
+        let commands = self.controller.interval_update(&sample);
+        for cmd in commands {
+            if !cmd.domain.is_controllable() {
+                continue;
+            }
+            let point = self.table.nearest(cmd.target_freq_mhz);
+            self.clocks[cmd.domain.index()].set_target_freq(point.freq_mhz);
+        }
+
+        if self.config.record_traces {
+            self.intervals.push(IntervalRecord {
+                interval: self.interval_index,
+                committed: self.committed,
+                ipc,
+                domains: domain_samples
+                    .iter()
+                    .map(|s| DomainTrace {
+                        domain: s.domain,
+                        queue_utilization: s.queue_utilization,
+                        freq_mhz: self.clocks[s.domain.index()].target_freq_mhz(),
+                    })
+                    .collect(),
+            });
+        }
+        self.interval_index += 1;
+        let _ = now;
+    }
+
+    // ----------------------------------------------------------------
+    // Main loop.
+    // ----------------------------------------------------------------
+
+    /// Runs the processor on an instruction stream until the configured
+    /// instruction budget is committed or the stream is exhausted and the
+    /// pipeline has drained.  Returns the run telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation makes no forward progress for an extended
+    /// period (an internal invariant violation, not a legitimate outcome).
+    pub fn run<S: InstructionStream>(&mut self, mut stream: S) -> SimResult {
+        let start_ps = self.clocks.iter().map(|c| c.next_edge_ps()).min().unwrap_or(0);
+        let mut last_commit_check = (0u64, start_ps);
+
+        loop {
+            if self.committed >= self.config.max_instructions {
+                break;
+            }
+            if self.stream_done
+                && self.fetch_buffer.is_empty()
+                && self.rob.is_empty()
+                && self.inflight.is_empty()
+            {
+                break;
+            }
+
+            // Pick the on-chip domain with the earliest pending edge.
+            let domain = mcd_clock::ON_CHIP_DOMAINS
+                .iter()
+                .copied()
+                .min_by_key(|d| self.clocks[d.index()].next_edge_ps())
+                .expect("there are always four on-chip domains");
+            let now = self.clocks[domain.index()].advance();
+
+            match domain {
+                DomainId::FrontEnd => self.frontend_cycle(now, &mut stream),
+                DomainId::Integer | DomainId::FloatingPoint => self.exec_domain_cycle(domain, now),
+                DomainId::LoadStore => self.loadstore_cycle(now),
+                DomainId::External => {}
+            }
+
+            // Watchdog against livelock.
+            if self.committed > last_commit_check.0 {
+                last_commit_check = (self.committed, now);
+            } else if now.saturating_sub(last_commit_check.1) > COMMIT_WATCHDOG_PS {
+                panic!(
+                    "simulator livelock: no commit for {} ps at instruction {}",
+                    now - last_commit_check.1,
+                    self.committed
+                );
+            }
+        }
+
+        self.finish(start_ps)
+    }
+
+    fn finish(&mut self, start_ps: TimePs) -> SimResult {
+        self.controller.finish();
+        let elapsed = self.last_commit_ps.saturating_sub(start_ps).max(1);
+        let avg_domain_freq_mhz = CONTROLLABLE_DOMAINS
+            .iter()
+            .map(|&d| {
+                let fa = &self.freq_acc[d.index()];
+                let avg = if fa.cycles == 0 {
+                    self.clocks[d.index()].current_freq_mhz()
+                } else {
+                    fa.weighted_sum / fa.cycles as f64
+                };
+                (d, avg as MegaHertz)
+            })
+            .collect();
+
+        SimResult {
+            committed_instructions: self.committed,
+            frontend_cycles: self.clocks[DomainId::FrontEnd.index()].cycles(),
+            elapsed_ps: elapsed,
+            energy: self.energy.breakdown(),
+            branch_stats: self.predictor.stats(),
+            l1i_stats: self.l1i.stats(),
+            l1d_stats: self.l1d.stats(),
+            l2_stats: self.l2.stats(),
+            memory_accesses: self.memory_accesses,
+            mispredict_redirects: self.mispredict_redirects,
+            intervals: std::mem::take(&mut self.intervals),
+            profile: std::mem::take(&mut self.profile),
+            avg_domain_freq_mhz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_control::{AttackDecayController, AttackDecayParams, FixedController};
+    use mcd_workloads::{Benchmark, WorkloadGenerator};
+
+    fn run_benchmark(
+        bench: Benchmark,
+        insts: u64,
+        config: SimConfig,
+        controller: Box<dyn FrequencyController>,
+    ) -> SimResult {
+        let stream = WorkloadGenerator::new(&bench.spec(), 42, insts);
+        let mut cpu = McdProcessor::new(config, controller);
+        cpu.run(stream)
+    }
+
+    #[test]
+    fn baseline_run_commits_all_instructions() {
+        let r = run_benchmark(
+            Benchmark::Adpcm,
+            30_000,
+            SimConfig::baseline_mcd(30_000),
+            Box::new(FixedController::at_max()),
+        );
+        assert_eq!(r.committed_instructions, 30_000);
+        assert!(r.cpi() > 0.2 && r.cpi() < 10.0, "cpi = {}", r.cpi());
+        assert!(r.elapsed_ps > 0);
+        assert!(r.chip_energy() > 0.0);
+        assert!(r.branch_stats.direction_predictions > 0);
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let a = run_benchmark(
+            Benchmark::Gsm,
+            20_000,
+            SimConfig::baseline_mcd(20_000),
+            Box::new(FixedController::at_max()),
+        );
+        let b = run_benchmark(
+            Benchmark::Gsm,
+            20_000,
+            SimConfig::baseline_mcd(20_000),
+            Box::new(FixedController::at_max()),
+        );
+        assert_eq!(a.committed_instructions, b.committed_instructions);
+        assert_eq!(a.frontend_cycles, b.frontend_cycles);
+        assert_eq!(a.elapsed_ps, b.elapsed_ps);
+        assert!((a.chip_energy() - b.chip_energy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synchronous_processor_is_at_least_as_fast_as_mcd_baseline() {
+        let sync = run_benchmark(
+            Benchmark::Gzip,
+            40_000,
+            SimConfig::fully_synchronous(40_000),
+            Box::new(FixedController::at_max()),
+        );
+        let mcd = run_benchmark(
+            Benchmark::Gzip,
+            40_000,
+            SimConfig::baseline_mcd(40_000),
+            Box::new(FixedController::at_max()),
+        );
+        // The MCD baseline pays synchronization penalties: slower, and with
+        // extra clock energy.  The paper puts the inherent degradation below
+        // a few percent.
+        let degradation = mcd.elapsed_ps as f64 / sync.elapsed_ps as f64 - 1.0;
+        assert!(
+            degradation > -0.01,
+            "MCD baseline should not be faster than the synchronous processor ({degradation})"
+        );
+        assert!(
+            degradation < 0.10,
+            "MCD inherent degradation should be small, got {degradation}"
+        );
+        assert!(mcd.chip_energy() > sync.chip_energy());
+    }
+
+    #[test]
+    fn memory_bound_workload_misses_to_main_memory() {
+        let r = run_benchmark(
+            Benchmark::Mcf,
+            30_000,
+            SimConfig::baseline_mcd(30_000),
+            Box::new(FixedController::at_max()),
+        );
+        assert!(r.memory_accesses > 50, "mcf should miss to memory, got {}", r.memory_accesses);
+        assert!(r.l2_stats.misses > 50);
+        // Memory-bound code has a much higher CPI than cache-resident code.
+        let fast = run_benchmark(
+            Benchmark::Adpcm,
+            30_000,
+            SimConfig::baseline_mcd(30_000),
+            Box::new(FixedController::at_max()),
+        );
+        assert!(r.cpi() > fast.cpi());
+    }
+
+    #[test]
+    fn fp_workload_exercises_the_fp_domain() {
+        let fp = run_benchmark(
+            Benchmark::Swim,
+            30_000,
+            SimConfig::baseline_mcd(30_000),
+            Box::new(FixedController::at_max()),
+        );
+        let int = run_benchmark(
+            Benchmark::Gzip,
+            30_000,
+            SimConfig::baseline_mcd(30_000),
+            Box::new(FixedController::at_max()),
+        );
+        // Compare the FP ALU's *share* of chip energy so that differing run
+        // lengths (and therefore differing idle-gating charges) cancel out.
+        let fp_share = fp.energy.structure(Structure::FpAlu) / fp.chip_energy();
+        let int_share = int.energy.structure(Structure::FpAlu) / int.chip_energy();
+        assert!(
+            fp_share > int_share,
+            "swim's FP ALU share ({fp_share:.4}) must exceed gzip's ({int_share:.4})"
+        );
+    }
+
+    #[test]
+    fn pinning_a_domain_low_slows_execution_and_saves_domain_energy() {
+        let base = run_benchmark(
+            Benchmark::Gzip,
+            30_000,
+            SimConfig::baseline_mcd(30_000),
+            Box::new(FixedController::at_max()),
+        );
+        let slowed = run_benchmark(
+            Benchmark::Gzip,
+            30_000,
+            SimConfig::baseline_mcd(30_000),
+            Box::new(FixedController::pinned(vec![(DomainId::Integer, 250.0)])),
+        );
+        assert!(slowed.elapsed_ps > base.elapsed_ps, "slowing the integer domain must cost time");
+        assert!(
+            slowed.energy.domain(DomainId::Integer) < base.energy.domain(DomainId::Integer),
+            "integer-domain energy must fall at 250 MHz / 0.65 V"
+        );
+    }
+
+    #[test]
+    fn attack_decay_controller_changes_domain_frequencies() {
+        let mut cfg = SimConfig::baseline_mcd(120_000);
+        cfg.record_traces = true;
+        let table = OperatingPointTable::from_params(&cfg.clock);
+        let ctrl = AttackDecayController::new(AttackDecayParams::paper_defaults(), &table);
+        let r = run_benchmark(Benchmark::Gzip, 120_000, cfg, Box::new(ctrl));
+        assert_eq!(r.committed_instructions, 120_000);
+        assert!(!r.intervals.is_empty());
+        // The FP domain is unused by gzip: the controller must have decayed
+        // its frequency below the maximum by the end of the run.
+        let last = r.intervals.last().unwrap();
+        let fp_last = last.domain(DomainId::FloatingPoint).unwrap().freq_mhz;
+        assert!(fp_last < 995.0, "unused FP domain should have decayed, final target = {fp_last}");
+        let fp_avg = r.avg_freq(DomainId::FloatingPoint).unwrap();
+        assert!(fp_avg < 1000.0, "average must reflect the decay, avg = {fp_avg}");
+    }
+
+    #[test]
+    fn profile_is_recorded_for_offline_oracle() {
+        let r = run_benchmark(
+            Benchmark::Epic,
+            40_000,
+            SimConfig::baseline_mcd(40_000),
+            Box::new(FixedController::at_max()),
+        );
+        assert_eq!(r.profile.len() as u64, 40_000 / 10_000);
+    }
+
+    #[test]
+    fn short_stream_drains_cleanly() {
+        // Stream shorter than the instruction budget: the pipeline drains
+        // and the run ends without hitting the watchdog.
+        let stream = WorkloadGenerator::new(&Benchmark::Adpcm.spec(), 3, 5_000);
+        let mut cpu = McdProcessor::new(SimConfig::baseline_mcd(1_000_000), Box::new(FixedController::at_max()));
+        let r = cpu.run(stream);
+        assert_eq!(r.committed_instructions, 5_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulator configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = SimConfig::baseline_mcd(0);
+        cfg.max_instructions = 0;
+        let _ = McdProcessor::new(cfg, Box::new(FixedController::at_max()));
+    }
+}

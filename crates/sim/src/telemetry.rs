@@ -1,0 +1,219 @@
+//! Run results and per-interval telemetry.
+
+use mcd_clock::{DomainId, MegaHertz, TimePs};
+use mcd_control::OfflineProfile;
+use mcd_microarch::{BranchStats, CacheStats};
+use mcd_power::EnergyBreakdown;
+use serde::{Deserialize, Serialize};
+
+pub use mcd_microarch::bpred::BranchStats as BranchStatistics;
+
+/// One controllable domain's state during one control interval, as recorded
+/// for traces (Figures 2 and 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainTrace {
+    /// Domain the record describes.
+    pub domain: DomainId,
+    /// Average input-queue occupancy over the interval.
+    pub queue_utilization: f64,
+    /// Target frequency at the end of the interval (after the controller's
+    /// decision), in MHz.
+    pub freq_mhz: MegaHertz,
+}
+
+/// Telemetry of one control interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalRecord {
+    /// Zero-based interval index.
+    pub interval: u64,
+    /// Cumulative committed instructions at the end of the interval.
+    pub committed: u64,
+    /// IPC over the interval (committed / front-end cycles).
+    pub ipc: f64,
+    /// Per-domain traces (integer, floating point, load/store).
+    pub domains: Vec<DomainTrace>,
+}
+
+impl IntervalRecord {
+    /// The trace of one domain, if present.
+    pub fn domain(&self, d: DomainId) -> Option<&DomainTrace> {
+        self.domains.iter().find(|t| t.domain == d)
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Committed instructions.
+    pub committed_instructions: u64,
+    /// Front-end clock cycles elapsed.
+    pub frontend_cycles: u64,
+    /// Wall-clock simulated time from the first to the last committed
+    /// instruction, in picoseconds.
+    pub elapsed_ps: TimePs,
+    /// Energy breakdown (model units).
+    pub energy: EnergyBreakdown,
+    /// Branch predictor statistics.
+    pub branch_stats: BranchStats,
+    /// L1 instruction cache statistics.
+    pub l1i_stats: CacheStats,
+    /// L1 data cache statistics.
+    pub l1d_stats: CacheStats,
+    /// L2 cache statistics.
+    pub l2_stats: CacheStats,
+    /// Main-memory accesses.
+    pub memory_accesses: u64,
+    /// Branch mispredictions that caused a front-end redirect.
+    pub mispredict_redirects: u64,
+    /// Per-interval telemetry (only populated when trace recording was
+    /// enabled in the configuration; always contains the last interval of
+    /// profiling data otherwise).
+    pub intervals: Vec<IntervalRecord>,
+    /// Per-interval, per-domain profile usable to construct the off-line
+    /// oracle controller.
+    pub profile: OfflineProfile,
+    /// Average frequency of each controllable domain over the run, in MHz
+    /// (cycle-weighted).
+    pub avg_domain_freq_mhz: Vec<(DomainId, MegaHertz)>,
+}
+
+impl SimResult {
+    /// Cycles per committed instruction (front-end cycles).
+    pub fn cpi(&self) -> f64 {
+        if self.committed_instructions == 0 {
+            0.0
+        } else {
+            self.frontend_cycles as f64 / self.committed_instructions as f64
+        }
+    }
+
+    /// Instructions per front-end cycle.
+    pub fn ipc(&self) -> f64 {
+        let cpi = self.cpi();
+        if cpi == 0.0 {
+            0.0
+        } else {
+            1.0 / cpi
+        }
+    }
+
+    /// Simulated execution time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed_ps as f64 * 1e-12
+    }
+
+    /// Energy per committed instruction (chip energy only, model units),
+    /// the paper's EPI metric.
+    pub fn epi(&self) -> f64 {
+        if self.committed_instructions == 0 {
+            0.0
+        } else {
+            self.chip_energy() / self.committed_instructions as f64
+        }
+    }
+
+    /// Total on-chip energy (excludes main memory), model units.
+    pub fn chip_energy(&self) -> f64 {
+        self.energy.total - self.energy.structure(mcd_power::Structure::MainMemory)
+    }
+
+    /// Energy-delay product (chip energy times execution time).
+    pub fn energy_delay_product(&self) -> f64 {
+        self.chip_energy() * self.seconds()
+    }
+
+    /// Average chip power (energy / time), model units per second.
+    pub fn avg_power(&self) -> f64 {
+        let s = self.seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.chip_energy() / s
+        }
+    }
+
+    /// The average frequency of one domain over the run.
+    pub fn avg_freq(&self, domain: DomainId) -> Option<MegaHertz> {
+        self.avg_domain_freq_mhz
+            .iter()
+            .find(|(d, _)| *d == domain)
+            .map(|(_, f)| *f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_power::{EnergyAccount, EnergyParams, Structure};
+
+    fn result(instructions: u64, cycles: u64, elapsed_ps: u64) -> SimResult {
+        let mut acct = EnergyAccount::new(EnergyParams::default());
+        acct.record_access(Structure::IntAlu, instructions, 1.2);
+        acct.record_memory_access();
+        SimResult {
+            committed_instructions: instructions,
+            frontend_cycles: cycles,
+            elapsed_ps,
+            energy: acct.breakdown(),
+            branch_stats: BranchStats::default(),
+            l1i_stats: CacheStats::default(),
+            l1d_stats: CacheStats::default(),
+            l2_stats: CacheStats::default(),
+            memory_accesses: 1,
+            mispredict_redirects: 0,
+            intervals: vec![],
+            profile: OfflineProfile::new(),
+            avg_domain_freq_mhz: vec![(DomainId::Integer, 900.0)],
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = result(10_000, 12_500, 12_500_000);
+        assert!((r.cpi() - 1.25).abs() < 1e-12);
+        assert!((r.ipc() - 0.8).abs() < 1e-12);
+        assert!((r.seconds() - 12.5e-6).abs() < 1e-18);
+        assert!(r.epi() > 0.0);
+        assert!(r.energy_delay_product() > 0.0);
+        assert!(r.avg_power() > 0.0);
+        assert_eq!(r.avg_freq(DomainId::Integer), Some(900.0));
+        assert_eq!(r.avg_freq(DomainId::FloatingPoint), None);
+    }
+
+    #[test]
+    fn chip_energy_excludes_main_memory() {
+        let r = result(100, 100, 100_000);
+        assert!(r.chip_energy() < r.energy.total);
+        assert!(
+            (r.energy.total - r.chip_energy()
+                - EnergyParams::default().main_memory_access_energy)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn zero_instruction_result_has_zero_rates() {
+        let r = result(0, 0, 0);
+        assert_eq!(r.cpi(), 0.0);
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.epi(), 0.0);
+        assert_eq!(r.avg_power(), 0.0);
+    }
+
+    #[test]
+    fn interval_record_lookup() {
+        let rec = IntervalRecord {
+            interval: 2,
+            committed: 30_000,
+            ipc: 0.9,
+            domains: vec![DomainTrace {
+                domain: DomainId::LoadStore,
+                queue_utilization: 17.0,
+                freq_mhz: 750.0,
+            }],
+        };
+        assert!(rec.domain(DomainId::LoadStore).is_some());
+        assert!(rec.domain(DomainId::Integer).is_none());
+    }
+}

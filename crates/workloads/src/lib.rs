@@ -1,0 +1,50 @@
+//! # mcd-workloads
+//!
+//! Synthetic benchmark suite for the MCD DVFS reproduction.
+//!
+//! The paper evaluates on 30 applications from MediaBench, Olden and
+//! SPEC2000 (Table 5), compiled for Alpha and run under SimpleScalar.
+//! Neither the binaries nor their reference inputs are available here, so
+//! each benchmark is modelled as a [`WorkloadSpec`]: a phase-structured
+//! description of its dynamic instruction stream (instruction mix,
+//! dependency distances, branch predictability, memory footprint and
+//! locality).  A deterministic [`WorkloadGenerator`] expands the spec into
+//! the [`mcd_isa::DynInst`] stream the simulator consumes.
+//!
+//! What matters for the paper's algorithm is the per-domain *utilisation
+//! shape* over time — idle floating-point phases, memory-bound stretches
+//! with low queue activity, bursty integer sections — because that is the
+//! only signal the Attack/Decay controller sees.  The specs reproduce the
+//! per-suite character the paper relies on:
+//!
+//! * **MediaBench** — multimedia kernels: small working sets, highly
+//!   predictable branches, phase-wise floating-point bursts (`epic`,
+//!   `mesa`).
+//! * **Olden** — pointer-chasing data structures: load-dependent loads,
+//!   large footprints, little floating point.
+//! * **SPEC2000 integer** — mixed behaviour, including the famously
+//!   memory-bound `mcf`.
+//! * **SPEC2000 floating point** — regular, FP- and memory-intensive
+//!   loops.
+//!
+//! ```
+//! use mcd_workloads::{Benchmark, WorkloadGenerator};
+//! use mcd_isa::InstructionStream;
+//!
+//! let spec = Benchmark::EpicDecode.spec();
+//! let mut stream = WorkloadGenerator::new(&spec, 42, 1_000);
+//! let mut count = 0;
+//! while stream.next_inst().is_some() { count += 1; }
+//! assert_eq!(count, 1_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod spec;
+pub mod suite;
+
+pub use generator::WorkloadGenerator;
+pub use spec::{BranchBehavior, InstructionMix, MemoryBehavior, Phase, WorkloadSpec};
+pub use suite::{Benchmark, Suite};

@@ -1,0 +1,34 @@
+//! Reproduces the behaviour of the paper's Figures 2 and 3: the `epic
+//! decode` workload has two distinct floating-point phases, and the
+//! Attack/Decay controller raises the FP-domain frequency during the bursts
+//! and lets it decay while the unit is idle.
+//!
+//! ```bash
+//! cargo run --release --example epic_decode_trace
+//! ```
+
+use mcd::core::experiments::traces;
+
+fn main() {
+    let data = traces::run(150_000, 42);
+    let (fp_min, fp_max) = data.fp_freq_range();
+    println!(
+        "epic decode: {} control intervals, FP domain frequency range {:.2}-{:.2} GHz",
+        data.points.len(),
+        fp_min,
+        fp_max
+    );
+    println!("interval  instrs    LSQ-util  dLSQ%    f(LS) GHz  FIQ-util  f(FP) GHz");
+    for p in &data.points {
+        println!(
+            "{:8}  {:8}  {:8.2}  {:+6.1}  {:9.3}  {:8.2}  {:9.3}",
+            p.interval,
+            p.committed,
+            p.lsq_utilization,
+            p.lsq_change_pct,
+            p.loadstore_freq_ghz,
+            p.fiq_utilization,
+            p.fp_freq_ghz
+        );
+    }
+}

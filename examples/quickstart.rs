@@ -1,0 +1,45 @@
+//! Quickstart: simulate one benchmark under the baseline MCD processor and
+//! under the Attack/Decay controller, and print the paper's headline
+//! metrics for the pair.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use mcd::core::metrics::Comparison;
+use mcd::core::presets;
+use mcd::core::runner::{BenchmarkRunner, ConfigKind};
+use mcd::control::AttackDecayParams;
+use mcd::workloads::Benchmark;
+
+fn main() {
+    println!("{}", presets::render_table1());
+
+    let bench = Benchmark::Epic;
+    let mut runner = BenchmarkRunner::new(80_000, 42).with_interval(1_000);
+
+    let baseline = runner.run(bench, &ConfigKind::BaselineMcd);
+    let attack = runner.run(bench, &ConfigKind::AttackDecay(AttackDecayParams::paper_defaults()));
+
+    println!("benchmark: {}", bench.name());
+    println!(
+        "  baseline MCD   : CPI {:.2}, EPI {:.1}, time {:.1} us",
+        baseline.result.cpi(),
+        baseline.result.epi(),
+        baseline.result.seconds() * 1e6
+    );
+    println!(
+        "  Attack/Decay   : CPI {:.2}, EPI {:.1}, time {:.1} us",
+        attack.result.cpi(),
+        attack.result.epi(),
+        attack.result.seconds() * 1e6
+    );
+
+    let cmp = Comparison::vs(&attack.result, &baseline.result);
+    println!(
+        "  vs baseline MCD: perf degradation {:+.1}%, energy savings {:+.1}%, EDP improvement {:+.1}%",
+        cmp.perf_degradation * 100.0,
+        cmp.energy_savings * 100.0,
+        cmp.edp_improvement * 100.0
+    );
+}

@@ -1,0 +1,26 @@
+//! Runs a cross-suite subset of the paper's 30 benchmarks under every
+//! configuration of Table 6 and prints the per-benchmark Figure 4 panels
+//! together with the averaged Table 6 rows.
+//!
+//! ```bash
+//! cargo run --release --example suite_comparison
+//! ```
+
+use mcd::core::experiments::{figure4, run_suite, table6, ExperimentSettings};
+
+fn main() {
+    let settings = ExperimentSettings::quick();
+    println!(
+        "running {} benchmarks x 5 configurations ({} instructions each) ...",
+        settings.benchmarks.len(),
+        settings.instructions
+    );
+    let outcomes = run_suite(&settings);
+
+    let fig4 = figure4::from_outcomes(&outcomes);
+    println!("{}", fig4.render());
+
+    let rows = table6::mcd_rows(&outcomes);
+    let table = table6::Table6 { rows };
+    println!("Table 6 (MCD rows, relative to the baseline MCD processor)\n{}", table.render());
+}

@@ -1,0 +1,14 @@
+//! Facade crate for the MCD DVFS reproduction workspace.
+//!
+//! Re-exports the public API of `mcd-core` and the substrate crates so that
+//! examples and downstream users can depend on a single crate.
+#![forbid(unsafe_code)]
+
+pub use mcd_clock as clock;
+pub use mcd_control as control;
+pub use mcd_core as core;
+pub use mcd_isa as isa;
+pub use mcd_microarch as microarch;
+pub use mcd_power as power;
+pub use mcd_sim as sim;
+pub use mcd_workloads as workloads;

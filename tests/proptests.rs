@@ -1,0 +1,268 @@
+//! Property-based tests over the core data structures and invariants of the
+//! reproduction, spanning several crates.
+
+use proptest::prelude::*;
+
+use mcd::clock::{DomainId, OperatingPointTable, SyncWindow};
+use mcd::control::{
+    AttackDecayController, AttackDecayParams, DomainSample, FrequencyController, IntervalSample,
+};
+use mcd::isa::{InstructionStream, Reg};
+use mcd::microarch::{Cache, CacheConfig, IssueQueue, LoadStoreQueue, ReorderBuffer, RobEntry};
+use mcd::power::{EnergyAccount, EnergyParams, Structure};
+use mcd::workloads::{
+    BranchBehavior, InstructionMix, MemoryBehavior, Phase, WorkloadGenerator, WorkloadSpec,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The operating-point table always returns frequencies inside the MCD
+    /// range, `at_least` never under-delivers, and `nearest` is idempotent.
+    #[test]
+    fn operating_point_lookups_stay_in_range(freq in 0.0f64..5_000.0) {
+        let table = OperatingPointTable::default();
+        let nearest = table.nearest(freq);
+        prop_assert!(nearest.freq_mhz >= 250.0 - 1e-9);
+        prop_assert!(nearest.freq_mhz <= 1000.0 + 1e-9);
+        prop_assert_eq!(table.nearest(nearest.freq_mhz).index, nearest.index);
+        let at_least = table.at_least(freq);
+        if freq <= 1000.0 {
+            prop_assert!(at_least.freq_mhz + 1e-9 >= freq.max(250.0));
+        }
+        // Voltage tracks frequency monotonically.
+        let v = table.voltage_for_freq(nearest.freq_mhz);
+        prop_assert!(v >= 0.65 - 1e-9 && v <= 1.2 + 1e-9);
+    }
+
+    /// Synchronization capture never travels backwards in time and never
+    /// waits more than one destination period plus the window when the
+    /// destination edge is not in the future.
+    #[test]
+    fn sync_capture_is_causal(
+        src in 0u64..1_000_000,
+        edge in 0u64..10_000,
+        period in 1_000u64..4_000,
+        window in 0u64..400,
+    ) {
+        let sync = SyncWindow::new(window);
+        let t = sync.capture_time(src, edge, period);
+        prop_assert!(t >= src);
+        if edge <= src {
+            prop_assert!(t - src <= period + window);
+        }
+    }
+
+    /// The Attack/Decay controller keeps every commanded frequency inside
+    /// the operating range for arbitrary utilization/IPC sequences.
+    #[test]
+    fn attack_decay_commands_stay_in_range(
+        utils in proptest::collection::vec((0.0f64..64.0, 0.0f64..20.0, 0.0f64..64.0), 1..60),
+        ipcs in proptest::collection::vec(0.01f64..4.0, 1..60),
+    ) {
+        let table = OperatingPointTable::default();
+        let mut ctrl = AttackDecayController::new(AttackDecayParams::paper_defaults(), &table);
+        for (i, (int_u, fp_u, ls_u)) in utils.iter().enumerate() {
+            let ipc = ipcs[i % ipcs.len()];
+            let mk = |domain, queue_utilization| DomainSample {
+                domain,
+                queue_utilization,
+                domain_cycles: 10_000,
+                busy_cycles: 5_000,
+                issued_instructions: 9_000,
+                freq_mhz: 1000.0,
+            };
+            let sample = IntervalSample {
+                interval: i as u64,
+                instructions: 10_000,
+                frontend_cycles: 11_000,
+                ipc,
+                domains: vec![
+                    mk(DomainId::Integer, *int_u),
+                    mk(DomainId::FloatingPoint, *fp_u),
+                    mk(DomainId::LoadStore, *ls_u),
+                ],
+            };
+            for cmd in ctrl.interval_update(&sample) {
+                prop_assert!(cmd.target_freq_mhz >= 250.0 - 1e-9);
+                prop_assert!(cmd.target_freq_mhz <= 1000.0 + 1e-9);
+            }
+        }
+    }
+
+    /// Cache behaviour under arbitrary access sequences: hits are only
+    /// reported for previously touched lines, statistics stay consistent,
+    /// and a probe after an access always hits.
+    #[test]
+    fn cache_invariants_hold_for_arbitrary_accesses(
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..300),
+    ) {
+        let mut cache = Cache::new(CacheConfig::l1_64k_2way());
+        let mut touched = std::collections::HashSet::new();
+        for &addr in &addrs {
+            let line = addr / 64;
+            let hit = cache.access(addr, false);
+            if hit {
+                prop_assert!(touched.contains(&line), "hit on a never-touched line");
+            }
+            touched.insert(line);
+            prop_assert!(cache.probe(addr), "line must be resident right after an access");
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses(), addrs.len() as u64);
+        prop_assert!(stats.misses <= stats.accesses());
+        prop_assert!(stats.miss_rate() >= 0.0 && stats.miss_rate() <= 1.0);
+    }
+
+    /// Issue-queue occupancy never exceeds capacity and the average
+    /// occupancy accumulator is bounded by the capacity.
+    #[test]
+    fn issue_queue_occupancy_is_bounded(ops in proptest::collection::vec(0u8..3, 1..200)) {
+        let mut q = IssueQueue::new(20);
+        let mut next_seq = 0u64;
+        let mut live: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                0 => {
+                    if q.insert(next_seq, 0).is_ok() {
+                        live.push(next_seq);
+                    }
+                    next_seq += 1;
+                }
+                1 => {
+                    if let Some(seq) = live.pop() {
+                        prop_assert!(q.remove(seq));
+                    }
+                }
+                _ => q.accumulate_occupancy(),
+            }
+            prop_assert!(q.len() <= q.capacity());
+            prop_assert_eq!(q.len(), live.len());
+        }
+        let avg = q.take_average_occupancy();
+        prop_assert!(avg <= 20.0);
+    }
+
+    /// The ROB retires strictly in program order regardless of the
+    /// completion order.
+    #[test]
+    fn rob_retires_in_program_order(completion_order in proptest::collection::vec(0usize..16, 16)) {
+        let mut rob = ReorderBuffer::new(16);
+        for seq in 0..16u64 {
+            rob.push(RobEntry::new(seq, mcd::isa::OpClass::IntAlu)).unwrap();
+        }
+        for &idx in &completion_order {
+            rob.mark_completed(idx as u64, 0);
+        }
+        let mut last: Option<u64> = None;
+        while let Some(e) = rob.retire_head(0) {
+            if let Some(prev) = last {
+                prop_assert!(e.seq > prev);
+            }
+            last = Some(e.seq);
+        }
+    }
+
+    /// The LSQ never reorders a load past an older store with an unknown
+    /// address.
+    #[test]
+    fn lsq_blocks_loads_behind_unknown_stores(load_addr in 0u64..4096, store_addr in 0u64..4096) {
+        let mut lsq = LoadStoreQueue::new(8);
+        lsq.insert(1, true, mcd::isa::MemInfo::new(store_addr * 8, 8), 0).unwrap();
+        lsq.insert(2, false, mcd::isa::MemInfo::new(load_addr * 8, 8), 0).unwrap();
+        lsq.set_operands_ready(2);
+        // While the store address is unknown the load must not issue.
+        prop_assert_eq!(lsq.load_issue_decision(2), mcd::microarch::LsqIssue::Blocked);
+        lsq.set_operands_ready(1);
+        let decision = lsq.load_issue_decision(2);
+        if store_addr == load_addr {
+            prop_assert_eq!(decision, mcd::microarch::LsqIssue::Forward(1));
+        } else {
+            prop_assert_eq!(decision, mcd::microarch::LsqIssue::AccessCache);
+        }
+    }
+
+    /// Energy accounting is monotone (recording work never decreases the
+    /// total) and voltage scaling never increases the cost of an access.
+    #[test]
+    fn energy_accounting_is_monotone(
+        accesses in proptest::collection::vec((0usize..14, 1u64..50, 0.65f64..1.2), 1..100),
+    ) {
+        let params = EnergyParams::default();
+        let structures: Vec<Structure> = Structure::ALL
+            .iter()
+            .copied()
+            .filter(|s| !s.is_clock() && *s != Structure::MainMemory)
+            .collect();
+        let mut acct = EnergyAccount::new(params.clone());
+        let mut prev = 0.0;
+        for (idx, count, voltage) in accesses {
+            let s = structures[idx % structures.len()];
+            acct.record_access(s, count, voltage);
+            let total = acct.total_energy();
+            prop_assert!(total >= prev);
+            prev = total;
+            // The same access at the nominal voltage costs at least as much.
+            let low = params.access_energy(s) * params.voltage_scale(voltage);
+            let high = params.access_energy(s);
+            prop_assert!(low <= high + 1e-12);
+        }
+    }
+
+    /// The rename map never reports the zero register as having a producer.
+    #[test]
+    fn zero_register_never_gets_a_producer(seqs in proptest::collection::vec(0u64..1000, 1..50)) {
+        let mut map = mcd::microarch::RenameMap::new();
+        for seq in seqs {
+            map.set_producer(Reg::int(31), seq);
+            map.set_producer(Reg::fp(31), seq);
+            prop_assert_eq!(map.producer(Reg::int(31)), None);
+            prop_assert_eq!(map.producer(Reg::fp(31)), None);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any valid instruction mix expands into a stream of valid
+    /// instructions whose class fractions roughly follow the mix.
+    #[test]
+    fn workload_generator_respects_arbitrary_mixes(
+        int_alu in 0.1f64..0.6,
+        load in 0.05f64..0.4,
+        store in 0.0f64..0.2,
+        branch in 0.02f64..0.3,
+        fp in 0.0f64..0.4,
+        seed in 0u64..1_000,
+    ) {
+        let mix = InstructionMix {
+            int_alu,
+            int_mul: 0.01,
+            fp_add: fp / 2.0,
+            fp_mul: fp / 2.0,
+            fp_div: 0.0,
+            load,
+            store,
+            branch,
+        };
+        let phase = Phase::new(1.0, mix)
+            .with_memory(MemoryBehavior::cache_resident())
+            .with_branches(BranchBehavior::predictable());
+        let spec = WorkloadSpec::new("prop", "proptest", vec![phase], 1.0);
+        let mut generator = WorkloadGenerator::new(&spec, seed, 4_000);
+        let mut count = 0u64;
+        let mut mem_ops = 0u64;
+        while let Some(inst) = generator.next_inst() {
+            prop_assert!(inst.validate().is_ok());
+            if inst.is_mem() {
+                mem_ops += 1;
+            }
+            count += 1;
+        }
+        prop_assert_eq!(count, 4_000);
+        let expected_mem = (load + store) / mix.total();
+        let observed_mem = mem_ops as f64 / count as f64;
+        prop_assert!((observed_mem - expected_mem).abs() < 0.08);
+    }
+}
