@@ -5,10 +5,37 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mcd_clock::{DomainId, OperatingPointTable, SyncWindow};
-use mcd_control::{AttackDecayController, AttackDecayParams, DomainSample, FrequencyController, IntervalSample};
+use mcd_control::{
+    AttackDecayController, AttackDecayParams, DomainSample, FrequencyController, IntervalSample,
+};
 use mcd_isa::{InstructionStream, OpClass};
 use mcd_microarch::{BranchPredictor, Cache, CacheConfig, IssueQueue};
+use mcd_sim::{McdProcessor, SimConfig};
 use mcd_workloads::{Benchmark, WorkloadGenerator};
+
+/// End-to-end simulation kernel throughput: one full `McdProcessor::run`
+/// over a fixed instruction window.  This is the number the event-queue /
+/// slab kernel refactor is measured against (ISSUE 1 acceptance
+/// criterion), and the dominant cost of every experiment in `mcd-core`.
+fn bench_processor_kernel(c: &mut Criterion) {
+    let run = |bench: Benchmark, insts: u64| {
+        let stream = WorkloadGenerator::new(&bench.spec(), 42, insts);
+        let mut cpu = McdProcessor::new(
+            SimConfig::baseline_mcd(insts),
+            Box::new(mcd_control::FixedController::at_max()),
+        );
+        cpu.run(stream)
+    };
+    c.bench_function("processor_run_gzip_20k", |b| {
+        b.iter(|| black_box(run(Benchmark::Gzip, 20_000)))
+    });
+    c.bench_function("processor_run_swim_20k", |b| {
+        b.iter(|| black_box(run(Benchmark::Swim, 20_000)))
+    });
+    c.bench_function("processor_run_mcf_20k", |b| {
+        b.iter(|| black_box(run(Benchmark::Mcf, 20_000)))
+    });
+}
 
 fn bench_branch_predictor(c: &mut Criterion) {
     c.bench_function("bpred_predict_update_1k", |b| {
@@ -113,6 +140,7 @@ fn bench_workload_generation(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_processor_kernel,
     bench_branch_predictor,
     bench_cache,
     bench_issue_queue,

@@ -3,18 +3,24 @@
 //!
 //! Run with `MCD_FULL=1` for the full 30-benchmark suite.
 
-use mcd_bench::{settings_from_env, write_artifact};
+use mcd_bench::{settings_from_env, write_artifact, write_bench_json};
 use mcd_core::experiments::table6;
 
 fn main() {
     let settings = settings_from_env();
     eprintln!(
-        "Running Table 6 on {} benchmarks, {} instructions each ...",
+        "Running Table 6 on {} benchmarks, {} instructions each, {} workers ...",
         settings.benchmarks.len(),
-        settings.instructions
+        settings.instructions,
+        settings.workers()
     );
-    let table = table6::run(&settings);
+    let (table, stats) = table6::run_with_stats(&settings);
     let text = table.render();
     println!("Table 6. Comparison of algorithms (relative to the baseline MCD processor;\nGlobal rows are relative to the fully synchronous processor)\n{text}");
     write_artifact("table6.txt", &text);
+    write_bench_json(
+        "table6",
+        &stats,
+        &[("benchmarks", (settings.benchmarks.len() as u64).into())],
+    );
 }

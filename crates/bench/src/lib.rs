@@ -25,17 +25,68 @@
 
 use std::path::PathBuf;
 
+use mcd_core::engine::EngineStats;
 use mcd_core::experiments::ExperimentSettings;
 
 /// Returns the experiment settings selected by the `MCD_FULL` environment
-/// variable: the paper's full suite when set to `1`, otherwise the quick
-/// subset.
+/// variable (the paper's full suite when set to `1`, otherwise the quick
+/// subset), with the worker count from `--jobs N` / `-j N` on the command
+/// line (falling back to `MCD_JOBS`, then the host's parallelism).
 pub fn settings_from_env() -> ExperimentSettings {
-    if std::env::var("MCD_FULL").map(|v| v == "1").unwrap_or(false) {
+    let base = if std::env::var("MCD_FULL").map(|v| v == "1").unwrap_or(false) {
         ExperimentSettings::paper()
     } else {
         ExperimentSettings::quick()
+    };
+    match jobs_from_args(std::env::args()) {
+        Some(jobs) => base.with_jobs(jobs),
+        None => base,
     }
+}
+
+/// Parses `--jobs N`, `--jobs=N` or `-j N` from an argument list.
+pub fn jobs_from_args(args: impl IntoIterator<Item = String>) -> Option<usize> {
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" || arg == "-j" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = arg.strip_prefix("--jobs=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+/// Writes the host-throughput artefact of one experiment run
+/// (`BENCH_<name>.json` in the results directory): engine statistics plus
+/// any experiment-specific extras.  This is what makes simulator-kernel
+/// speedups measurable across commits.
+pub fn write_bench_json(
+    name: &str,
+    stats: &EngineStats,
+    extras: &[(&str, serde_json::Value)],
+) -> PathBuf {
+    let mut doc = serde_json::Value::object();
+    doc.insert("experiment", name);
+    doc.insert("workers", stats.workers);
+    doc.insert("runs", stats.runs);
+    doc.insert("wall_seconds", stats.wall_seconds);
+    doc.insert("cumulative_seconds", stats.cumulative_seconds);
+    doc.insert(
+        "parallel_speedup",
+        if stats.wall_seconds > 0.0 {
+            stats.cumulative_seconds / stats.wall_seconds
+        } else {
+            0.0
+        },
+    );
+    doc.insert("simulated_instructions", stats.simulated_instructions);
+    doc.insert("aggregate_simulated_mips", stats.aggregate_mips);
+    for (key, value) in extras {
+        doc.insert(key, value.clone());
+    }
+    write_artifact(&format!("BENCH_{name}.json"), &doc.to_string_pretty())
 }
 
 /// A reduced settings preset used inside Criterion measurement loops so
@@ -87,9 +138,49 @@ mod tests {
 
     #[test]
     fn artifacts_are_written_to_disk() {
-        std::env::set_var("MCD_RESULTS_DIR", std::env::temp_dir().join("mcd-bench-test"));
+        std::env::set_var(
+            "MCD_RESULTS_DIR",
+            std::env::temp_dir().join("mcd-bench-test"),
+        );
         let path = write_artifact("unit-test.txt", "hello");
         assert!(path.exists());
         assert_eq!(std::fs::read_to_string(path).unwrap(), "hello");
+    }
+
+    #[test]
+    fn jobs_flag_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(jobs_from_args(args(&["bin", "--jobs", "4"])), Some(4));
+        assert_eq!(jobs_from_args(args(&["bin", "--jobs=8"])), Some(8));
+        assert_eq!(jobs_from_args(args(&["bin", "-j", "2", "rest"])), Some(2));
+        assert_eq!(jobs_from_args(args(&["bin"])), None);
+        assert_eq!(jobs_from_args(args(&["bin", "--jobs", "no"])), None);
+    }
+
+    #[test]
+    fn bench_json_artifact_contains_throughput_fields() {
+        std::env::set_var(
+            "MCD_RESULTS_DIR",
+            std::env::temp_dir().join("mcd-bench-test"),
+        );
+        let stats = EngineStats {
+            workers: 4,
+            runs: 15,
+            wall_seconds: 2.0,
+            cumulative_seconds: 6.0,
+            simulated_instructions: 900_000,
+            aggregate_mips: 0.45,
+        };
+        let path = write_bench_json("unit", &stats, &[("benchmarks", 3u64.into())]);
+        let text = std::fs::read_to_string(path).unwrap();
+        for needle in [
+            "\"experiment\": \"unit\"",
+            "\"workers\": 4",
+            "\"parallel_speedup\": 3",
+            "\"aggregate_simulated_mips\": 0.45",
+            "\"benchmarks\": 3",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
     }
 }

@@ -93,6 +93,14 @@ pub struct DomainClock {
     jitter: JitterModel,
     next_edge_ps: TimePs,
     cycles: u64,
+    /// Absolute time at which the in-flight ramp settles; edges at or
+    /// after this time run at exactly the target frequency, letting the
+    /// per-edge hot path skip the ramp evaluation entirely.
+    settle_ps: TimePs,
+    /// Period at the target frequency (valid once settled).
+    settled_period_ps: TimePs,
+    /// Target frequency (cached copy of `ramp.target()`).
+    settled_freq_mhz: MegaHertz,
 }
 
 /// Serializable snapshot of a clock's externally visible state (used in
@@ -131,6 +139,9 @@ impl DomainClock {
             jitter: JitterModel::new(jitter_sigma_ps, seed),
             next_edge_ps: phase,
             cycles: 0,
+            settle_ps: 0,
+            settled_period_ps: period,
+            settled_freq_mhz: freq_mhz,
         }
     }
 
@@ -150,8 +161,14 @@ impl DomainClock {
     }
 
     /// Instantaneous frequency at the time of the next edge.
+    #[inline]
     pub fn current_freq_mhz(&self) -> MegaHertz {
-        self.ramp.freq_at(self.next_edge_ps)
+        if self.next_edge_ps >= self.settle_ps {
+            // Ramp settled: the frequency is exactly the target.
+            self.settled_freq_mhz
+        } else {
+            self.ramp.freq_at(self.next_edge_ps)
+        }
     }
 
     /// The target frequency of the in-flight (or completed) transition.
@@ -165,28 +182,43 @@ impl DomainClock {
     }
 
     /// The current clock period in picoseconds (no jitter applied).
+    #[inline]
     pub fn current_period_ps(&self) -> TimePs {
-        crate::freq_mhz_to_period_ps(self.current_freq_mhz())
+        if self.next_edge_ps >= self.settle_ps {
+            // Ramp settled: constant period, no float math on the hot path.
+            self.settled_period_ps
+        } else {
+            crate::freq_mhz_to_period_ps(self.ramp.freq_at(self.next_edge_ps))
+        }
     }
 
     /// Requests a frequency change toward `target_mhz`, starting at the
     /// time of the next edge (the controller acts on interval boundaries).
     pub fn set_target_freq(&mut self, target_mhz: MegaHertz) {
         self.ramp.set_target(target_mhz, self.next_edge_ps);
+        self.settle_ps = self.ramp.settle_time_ps();
+        self.settled_freq_mhz = target_mhz;
+        self.settled_period_ps = crate::freq_mhz_to_period_ps(target_mhz);
     }
 
     /// Consumes the pending edge and schedules the following one: the next
     /// edge time is the current edge plus the instantaneous period plus a
     /// jitter sample.  Returns the time of the edge that was consumed.
+    #[inline]
     pub fn advance(&mut self) -> TimePs {
         let this_edge = self.next_edge_ps;
-        let period = self.current_period_ps() as f64;
-        let jitter = self.jitter.sample_ps();
-        // The jitter is bounded to 3 sigma (330 ps) which is always smaller
-        // than the smallest period (1000 ps), so the next edge is strictly
-        // after the current one.
-        let delta = (period + jitter).max(1.0);
-        self.next_edge_ps = this_edge + delta.round() as TimePs;
+        let period = self.current_period_ps();
+        let delta = if self.jitter.sigma_ps() == 0.0 {
+            // Jitter-free clocks advance by the exact period (identical to
+            // rounding `period + 0.0`, without the float round-trip).
+            period.max(1)
+        } else {
+            // The jitter is bounded to 3 sigma (330 ps) which is always
+            // smaller than the smallest period (1000 ps), so the next edge
+            // is strictly after the current one.
+            (period as f64 + self.jitter.sample_ps()).max(1.0).round() as TimePs
+        };
+        self.next_edge_ps = this_edge + delta;
         self.cycles += 1;
         this_edge
     }
@@ -221,7 +253,10 @@ mod tests {
         let samples: Vec<f64> = (0..n).map(|_| j.sample_ps()).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
-        assert!(mean.abs() < 5.0, "mean jitter should be near zero, got {mean}");
+        assert!(
+            mean.abs() < 5.0,
+            "mean jitter should be near zero, got {mean}"
+        );
         let sigma = var.sqrt();
         assert!(
             (sigma - 110.0).abs() < 10.0,

@@ -130,7 +130,7 @@ mod tests {
     fn on_chip_domains_exclude_external() {
         assert_eq!(ON_CHIP_DOMAINS.len(), 4);
         assert!(!ON_CHIP_DOMAINS.contains(&DomainId::External));
-        assert!(DomainId::External.is_on_chip() == false);
+        assert!(!DomainId::External.is_on_chip());
         assert!(DomainId::Integer.is_on_chip());
     }
 

@@ -92,7 +92,10 @@ mod tests {
         for f in [250.0, 333.0, 500.0, 750.0, 1000.0] {
             let p = freq_mhz_to_period_ps(f);
             let back = period_ps_to_freq_mhz(p);
-            assert!((back - f).abs() / f < 0.01, "{f} MHz -> {p} ps -> {back} MHz");
+            assert!(
+                (back - f).abs() / f < 0.01,
+                "{f} MHz -> {p} ps -> {back} MHz"
+            );
         }
     }
 

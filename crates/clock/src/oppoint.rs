@@ -221,7 +221,11 @@ mod tests {
         let t = table();
         for f in [250.0, 251.0, 300.0, 437.5, 999.0, 1000.0] {
             let p = t.at_least(f);
-            assert!(p.freq_mhz + 1e-9 >= f, "at_least({f}) returned {}", p.freq_mhz);
+            assert!(
+                p.freq_mhz + 1e-9 >= f,
+                "at_least({f}) returned {}",
+                p.freq_mhz
+            );
         }
         assert_eq!(t.at_least(0.0).index, 0);
         assert_eq!(t.at_least(1e6).index, 319);

@@ -192,20 +192,28 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_ranges() {
-        let mut p = McdClockParams::default();
-        p.max_voltage = 0.5;
+        let p = McdClockParams {
+            max_voltage: 0.5,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = McdClockParams::default();
-        p.min_freq_mhz = 2000.0;
+        let p = McdClockParams {
+            min_freq_mhz: 2000.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = McdClockParams::default();
-        p.num_operating_points = 1;
+        let p = McdClockParams {
+            num_operating_points: 1,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = McdClockParams::default();
-        p.mcd_clock_energy_overhead = 1.5;
+        let p = McdClockParams {
+            mcd_clock_energy_overhead: 1.5,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 

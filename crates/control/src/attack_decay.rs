@@ -78,10 +78,22 @@ impl AttackDecayParams {
     pub fn validate(&self) -> Result<(), String> {
         let ranges = ParamRanges::paper_table2();
         let checks = [
-            ("DeviationThreshold", self.deviation_threshold, ranges.deviation_threshold),
-            ("ReactionChange", self.reaction_change, ranges.reaction_change),
+            (
+                "DeviationThreshold",
+                self.deviation_threshold,
+                ranges.deviation_threshold,
+            ),
+            (
+                "ReactionChange",
+                self.reaction_change,
+                ranges.reaction_change,
+            ),
             ("Decay", self.decay, ranges.decay),
-            ("PerfDegThreshold", self.perf_deg_threshold, ranges.perf_deg_threshold),
+            (
+                "PerfDegThreshold",
+                self.perf_deg_threshold,
+                ranges.perf_deg_threshold,
+            ),
         ];
         for (name, value, (lo, hi)) in checks {
             if !(lo..=hi).contains(&value) {
@@ -241,7 +253,10 @@ impl AttackDecayController {
     /// The frequency the controller currently believes `domain` should run
     /// at, in MHz.
     pub fn domain_freq_mhz(&self, domain: DomainId) -> Option<MegaHertz> {
-        self.domains.iter().find(|d| d.domain == domain).map(|d| d.freq_mhz)
+        self.domains
+            .iter()
+            .find(|d| d.domain == domain)
+            .map(|d| d.freq_mhz)
     }
 
     /// The decision taken for `domain` in the most recent interval.
@@ -452,9 +467,15 @@ mod tests {
         ctrl.interval_update(&make_sample(40, [16.0, 8.0, 8.0], 1.0));
         let f_after = ctrl.domain_freq_mhz(DomainId::Integer).unwrap();
         assert!(f_after > f_before);
-        assert_eq!(ctrl.last_decision(DomainId::Integer), Some(Decision::AttackUp));
+        assert_eq!(
+            ctrl.last_decision(DomainId::Integer),
+            Some(Decision::AttackUp)
+        );
         // Other domains were stable and should have kept decaying.
-        assert_eq!(ctrl.last_decision(DomainId::LoadStore), Some(Decision::Decay));
+        assert_eq!(
+            ctrl.last_decision(DomainId::LoadStore),
+            Some(Decision::Decay)
+        );
     }
 
     #[test]
@@ -464,7 +485,10 @@ mod tests {
         let f_before = ctrl.domain_freq_mhz(DomainId::FloatingPoint).unwrap();
         ctrl.interval_update(&make_sample(1, [12.0, 2.0, 12.0], 1.0));
         let f_after = ctrl.domain_freq_mhz(DomainId::FloatingPoint).unwrap();
-        assert_eq!(ctrl.last_decision(DomainId::FloatingPoint), Some(Decision::AttackDown));
+        assert_eq!(
+            ctrl.last_decision(DomainId::FloatingPoint),
+            Some(Decision::AttackDown)
+        );
         // One attack step: period * 1.06 => frequency / 1.06.
         assert!((f_after - f_before / 1.06).abs() < 1e-6);
     }
@@ -479,7 +503,10 @@ mod tests {
         ctrl.interval_update(&make_sample(1, [12.0, 12.0, 2.0], 0.8));
         let f_after = ctrl.domain_freq_mhz(DomainId::LoadStore).unwrap();
         assert_eq!(f_after, f_before);
-        assert_eq!(ctrl.last_decision(DomainId::LoadStore), Some(Decision::Hold));
+        assert_eq!(
+            ctrl.last_decision(DomainId::LoadStore),
+            Some(Decision::Hold)
+        );
     }
 
     #[test]
@@ -508,7 +535,11 @@ mod tests {
         let mut ctrl = AttackDecayController::new(AttackDecayParams::paper_defaults(), &table());
         // Alternate extreme utilization patterns for a long time.
         for i in 0..500 {
-            let util = if i % 2 == 0 { [0.0, 0.0, 0.0] } else { [20.0, 15.0, 64.0] };
+            let util = if i % 2 == 0 {
+                [0.0, 0.0, 0.0]
+            } else {
+                [20.0, 15.0, 64.0]
+            };
             let cmds = ctrl.interval_update(&make_sample(i, util, 1.0));
             for c in cmds {
                 assert!(c.target_freq_mhz >= 250.0 - 1e-9);

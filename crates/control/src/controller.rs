@@ -87,11 +87,17 @@ mod tests {
             "Attack/Decay"
         );
         assert_eq!(
-            ControllerKind::OfflineDynamic { target_degradation: 0.01 }.label(),
+            ControllerKind::OfflineDynamic {
+                target_degradation: 0.01
+            }
+            .label(),
             "Dynamic-1%"
         );
         assert_eq!(
-            ControllerKind::OfflineDynamic { target_degradation: 0.05 }.label(),
+            ControllerKind::OfflineDynamic {
+                target_degradation: 0.05
+            }
+            .label(),
             "Dynamic-5%"
         );
         assert_eq!(
@@ -105,7 +111,9 @@ mod tests {
         let kinds = vec![
             ControllerKind::Fixed,
             ControllerKind::AttackDecay(AttackDecayParams::paper_defaults()),
-            ControllerKind::OfflineDynamic { target_degradation: 0.05 },
+            ControllerKind::OfflineDynamic {
+                target_degradation: 0.05,
+            },
             ControllerKind::GlobalScaling { freq_mhz: 800.0 },
         ];
         for k in &kinds {

@@ -33,7 +33,10 @@ impl FixedController {
 
     /// The pinned frequency of a domain, if any.
     pub fn pin(&self, domain: DomainId) -> Option<MegaHertz> {
-        self.pins.iter().find(|(d, _)| *d == domain).map(|(_, f)| *f)
+        self.pins
+            .iter()
+            .find(|(d, _)| *d == domain)
+            .map(|(_, f)| *f)
     }
 }
 

@@ -162,7 +162,11 @@ mod tests {
         let e = HardwareEstimate::paper_configuration();
         assert_eq!(e.controlled_domains, 4);
         assert_eq!(e.total_gates, 4 * 476 + 112);
-        assert!(e.total_gates < 2_500, "paper claims < 2,500 gates, got {}", e.total_gates);
+        assert!(
+            e.total_gates < 2_500,
+            "paper claims < 2,500 gates, got {}",
+            e.total_gates
+        );
     }
 
     #[test]

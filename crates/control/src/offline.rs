@@ -38,7 +38,9 @@ pub struct OfflineProfile {
 impl OfflineProfile {
     /// Creates an empty profile.
     pub fn new() -> Self {
-        OfflineProfile { intervals: Vec::new() }
+        OfflineProfile {
+            intervals: Vec::new(),
+        }
     }
 
     /// Appends one interval's domain samples (called by the simulator's
@@ -149,7 +151,10 @@ impl OfflineController {
         tuning: OfflineTuning,
         table: &OperatingPointTable,
     ) -> Self {
-        assert!(target_degradation >= 0.0, "degradation target must be non-negative");
+        assert!(
+            target_degradation >= 0.0,
+            "degradation target must be non-negative"
+        );
         let min_freq = table.min_point().freq_mhz;
         let max_freq = table.max_point().freq_mhz;
         let cushion = tuning.cushion(target_degradation);
@@ -325,7 +330,10 @@ mod tests {
         let fp = ctrl.scheduled_freq(0, DomainId::FloatingPoint);
         let int = ctrl.scheduled_freq(0, DomainId::Integer);
         assert!(fp < 400.0, "idle FP domain should be parked low, got {fp}");
-        assert!(int > 900.0, "busy integer domain should stay fast, got {int}");
+        assert!(
+            int > 900.0,
+            "busy integer domain should stay fast, got {int}"
+        );
     }
 
     #[test]
@@ -379,13 +387,28 @@ mod tests {
             domains: vec![],
         };
         let cmds = ctrl.interval_update(&sample0);
-        let fp_cmd = cmds.iter().find(|c| c.domain == DomainId::FloatingPoint).unwrap();
-        assert_eq!(fp_cmd.target_freq_mhz, ctrl.scheduled_freq(1, DomainId::FloatingPoint));
+        let fp_cmd = cmds
+            .iter()
+            .find(|c| c.domain == DomainId::FloatingPoint)
+            .unwrap();
+        assert_eq!(
+            fp_cmd.target_freq_mhz,
+            ctrl.scheduled_freq(1, DomainId::FloatingPoint)
+        );
         // Past the end of the schedule, the last interval's plan repeats.
-        let sample9 = IntervalSample { interval: 9, ..sample0 };
+        let sample9 = IntervalSample {
+            interval: 9,
+            ..sample0
+        };
         let cmds = ctrl.interval_update(&sample9);
-        let fp_cmd = cmds.iter().find(|c| c.domain == DomainId::FloatingPoint).unwrap();
-        assert_eq!(fp_cmd.target_freq_mhz, ctrl.scheduled_freq(1, DomainId::FloatingPoint));
+        let fp_cmd = cmds
+            .iter()
+            .find(|c| c.domain == DomainId::FloatingPoint)
+            .unwrap();
+        assert_eq!(
+            fp_cmd.target_freq_mhz,
+            ctrl.scheduled_freq(1, DomainId::FloatingPoint)
+        );
     }
 
     #[test]
@@ -404,8 +427,14 @@ mod tests {
     fn names_match_paper_configurations() {
         let table = OperatingPointTable::default();
         let p = OfflineProfile::new();
-        assert_eq!(OfflineController::from_profile(p.clone(), 0.01, &table).name(), "dynamic-1pct");
-        assert_eq!(OfflineController::from_profile(p, 0.05, &table).name(), "dynamic-5pct");
+        assert_eq!(
+            OfflineController::from_profile(p.clone(), 0.01, &table).name(),
+            "dynamic-1pct"
+        );
+        assert_eq!(
+            OfflineController::from_profile(p, 0.05, &table).name(),
+            "dynamic-5pct"
+        );
     }
 
     #[test]

@@ -89,7 +89,10 @@ pub struct FrequencyCommand {
 impl FrequencyCommand {
     /// Creates a new command.
     pub fn new(domain: DomainId, target_freq_mhz: MegaHertz) -> Self {
-        FrequencyCommand { domain, target_freq_mhz }
+        FrequencyCommand {
+            domain,
+            target_freq_mhz,
+        }
     }
 }
 
@@ -112,7 +115,10 @@ mod tests {
     fn busy_fraction_is_ratio() {
         let d = sample(DomainId::Integer, 5.0);
         assert!((d.busy_fraction() - 0.4).abs() < 1e-12);
-        let empty = DomainSample { domain_cycles: 0, ..d };
+        let empty = DomainSample {
+            domain_cycles: 0,
+            ..d
+        };
         assert_eq!(empty.busy_fraction(), 0.0);
     }
 
@@ -129,7 +135,10 @@ mod tests {
                 sample(DomainId::LoadStore, 20.0),
             ],
         };
-        assert_eq!(s.domain(DomainId::FloatingPoint).unwrap().queue_utilization, 0.5);
+        assert_eq!(
+            s.domain(DomainId::FloatingPoint).unwrap().queue_utilization,
+            0.5
+        );
         assert!(s.domain(DomainId::FrontEnd).is_none());
     }
 

@@ -1,0 +1,356 @@
+//! The parallel experiment engine.
+//!
+//! Every paper artefact is built from a grid of *(benchmark,
+//! configuration)* simulation jobs.  The engine turns such a grid — a
+//! [`RunPlan`] — into results using a fixed-size pool of scoped worker
+//! threads, while keeping three properties the experiments rely on:
+//!
+//! 1. **Deterministic results.**  Each job is a pure function of the
+//!    experiment settings, so results are bit-identical regardless of the
+//!    worker count (host-throughput telemetry excluded; see
+//!    [`mcd_sim::telemetry::HostStats`]).  Results are returned in plan
+//!    order, never completion order.
+//! 2. **Profile prerequisites run exactly once.**  The off-line oracle
+//!    configurations (`Dynamic-1%`, `Dynamic-5%`) need the per-interval
+//!    activity profile of a baseline-MCD run of the same benchmark.  The
+//!    engine schedules those profiling runs as an explicit prerequisite
+//!    phase feeding a shared, locked profile cache, so no worker ever
+//!    duplicates a baseline pass — previously each benchmark's thread
+//!    re-ran it per configuration grid.
+//! 3. **A tunable worker count.**  `--jobs N` on the bench binaries, the
+//!    `MCD_JOBS` environment variable, or [`ExperimentSettings::jobs`]
+//!    select the pool size; the default is the host's available
+//!    parallelism.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use mcd_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::ExperimentSettings;
+use crate::runner::{BenchmarkRunner, ConfigKind, RunOutcome};
+
+/// Resolves the number of worker threads: an explicit request wins, then
+/// the `MCD_JOBS` environment variable, then the host's available
+/// parallelism.  Always at least 1.
+pub fn worker_count(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| std::env::var("MCD_JOBS").ok().and_then(|v| v.parse().ok()))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Applies `f` to every item on `workers` scoped threads and returns the
+/// results **in item order** (not completion order).  Items are handed out
+/// through an atomic cursor, so long and short jobs mix freely; a panic in
+/// any job propagates.
+pub fn parallel_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                slots.lock().expect("result slots poisoned")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result slots poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every index was processed"))
+        .collect()
+}
+
+/// One simulation job of a plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The benchmark to run.
+    pub benchmark: Benchmark,
+    /// The configuration to run it under.
+    pub config: ConfigKind,
+}
+
+/// An ordered grid of simulation jobs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunPlan {
+    /// The jobs, in result order.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl RunPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        RunPlan::default()
+    }
+
+    /// Adds one job and returns the plan for chaining.
+    pub fn job(mut self, benchmark: Benchmark, config: ConfigKind) -> Self {
+        self.jobs.push(JobSpec { benchmark, config });
+        self
+    }
+
+    /// The five-configuration grid of Table 6 / Figure 4 over the given
+    /// benchmarks: fully synchronous, baseline MCD, Attack/Decay,
+    /// Dynamic-1% and Dynamic-5% per benchmark, in that order.
+    pub fn suite(benchmarks: &[Benchmark]) -> Self {
+        let mut plan = RunPlan::new();
+        for &b in benchmarks {
+            plan = plan
+                .job(b, ConfigKind::FullySynchronous)
+                .job(b, ConfigKind::BaselineMcd)
+                .job(
+                    b,
+                    ConfigKind::AttackDecay(mcd_control::AttackDecayParams::paper_defaults()),
+                )
+                .job(
+                    b,
+                    ConfigKind::OfflineDynamic {
+                        target_degradation: 0.01,
+                    },
+                )
+                .job(
+                    b,
+                    ConfigKind::OfflineDynamic {
+                        target_degradation: 0.05,
+                    },
+                );
+        }
+        plan
+    }
+
+    /// Benchmarks whose jobs require an offline profile (deduplicated, in
+    /// first-appearance order).  These are the engine's prerequisite
+    /// baseline runs.
+    pub fn profile_prerequisites(&self) -> Vec<Benchmark> {
+        let mut seen = Vec::new();
+        for job in &self.jobs {
+            if matches!(job.config, ConfigKind::OfflineDynamic { .. })
+                && !seen.contains(&job.benchmark)
+            {
+                seen.push(job.benchmark);
+            }
+        }
+        seen
+    }
+}
+
+/// Host-side statistics of one plan execution, for the `BENCH_*.json`
+/// artefacts.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Simulation jobs executed (including prerequisite profiling runs).
+    pub runs: usize,
+    /// Wall-clock time of the whole plan in seconds.
+    pub wall_seconds: f64,
+    /// Sum of the per-run wall-clock times (what a fully serial execution
+    /// would cost; `cumulative_seconds / wall_seconds` estimates the
+    /// parallel speedup).
+    pub cumulative_seconds: f64,
+    /// Total simulated committed instructions across all runs.
+    pub simulated_instructions: u64,
+    /// Simulated MIPS of the plan as a whole
+    /// (`simulated_instructions / wall_seconds / 1e6`).
+    pub aggregate_mips: f64,
+}
+
+/// Executes [`RunPlan`]s against one experiment configuration.
+#[derive(Debug)]
+pub struct ExperimentEngine {
+    runner: BenchmarkRunner,
+    workers: usize,
+}
+
+impl ExperimentEngine {
+    /// Creates an engine for the given settings (worker count, instruction
+    /// budget, control-interval length, seed) with a fresh profile cache.
+    pub fn from_settings(settings: &ExperimentSettings) -> Self {
+        let workers = if settings.parallel {
+            worker_count(settings.jobs)
+        } else {
+            1
+        };
+        ExperimentEngine {
+            runner: BenchmarkRunner::new(settings.instructions, settings.seed)
+                .with_interval(settings.interval_instructions),
+            workers,
+        }
+    }
+
+    /// The worker count the engine will use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The runner backing this engine (shares its profile cache).
+    pub fn runner(&self) -> &BenchmarkRunner {
+        &self.runner
+    }
+
+    /// Executes the plan and returns its outcomes in plan order.
+    pub fn execute(&self, plan: &RunPlan) -> Vec<RunOutcome> {
+        self.execute_with_stats(plan).0
+    }
+
+    /// Executes the plan, also returning host-side statistics.
+    pub fn execute_with_stats(&self, plan: &RunPlan) -> (Vec<RunOutcome>, EngineStats) {
+        let started = Instant::now();
+
+        // Phase 1 — prerequisite profiling runs, deduplicated through the
+        // shared cache.  The baseline outcome itself is kept so that a
+        // BaselineMcd job of the same benchmark in the plan does not run
+        // the simulation twice.
+        let prerequisites: Vec<Benchmark> = plan
+            .profile_prerequisites()
+            .into_iter()
+            .filter(|b| !self.runner.has_profile(*b))
+            .collect();
+        let baseline_outcomes: HashMap<Benchmark, RunOutcome> =
+            parallel_map(self.workers, &prerequisites, |_, &bench| {
+                (bench, self.runner.run(bench, &ConfigKind::BaselineMcd))
+            })
+            .into_iter()
+            .collect();
+
+        // Phase 2 — the plan itself; baseline jobs covered by phase 1 reuse
+        // the prerequisite outcome.
+        let outcomes = parallel_map(self.workers, &plan.jobs, |_, job| {
+            if job.config == ConfigKind::BaselineMcd {
+                if let Some(outcome) = baseline_outcomes.get(&job.benchmark) {
+                    return outcome.clone();
+                }
+            }
+            self.runner.run(job.benchmark, &job.config)
+        });
+
+        let wall_seconds = started.elapsed().as_secs_f64();
+        // Count each simulation once: plan outcomes that reused a phase-1
+        // baseline run are clones, not fresh runs.
+        let reused = |job: &JobSpec| {
+            job.config == ConfigKind::BaselineMcd && baseline_outcomes.contains_key(&job.benchmark)
+        };
+        let fresh_outcomes = plan
+            .jobs
+            .iter()
+            .zip(outcomes.iter())
+            .filter(|(job, _)| !reused(job))
+            .map(|(_, o)| o);
+        let all_runs = baseline_outcomes.values().chain(fresh_outcomes);
+        let runs = prerequisites.len() + plan.jobs.iter().filter(|j| !reused(j)).count();
+        let cumulative_seconds: f64 = all_runs.clone().map(|o| o.result.host.wall_seconds).sum();
+        let simulated_instructions: u64 = all_runs.map(|o| o.result.committed_instructions).sum();
+        let stats = EngineStats {
+            workers: self.workers,
+            runs,
+            wall_seconds,
+            cumulative_seconds,
+            simulated_instructions,
+            aggregate_mips: if wall_seconds > 0.0 {
+                simulated_instructions as f64 / wall_seconds / 1e6
+            } else {
+                0.0
+            },
+        };
+        (outcomes, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order_and_runs_everything() {
+        let items: Vec<u64> = (0..37).collect();
+        let doubled = parallel_map(4, &items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        // Degenerate pool sizes.
+        assert_eq!(parallel_map(1, &items, |_, &x| x), items);
+        assert!(parallel_map::<u64, u64, _>(8, &[], |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn worker_count_resolution_order() {
+        // Explicit request always wins and is floored at 1.
+        assert_eq!(worker_count(Some(3)), 3);
+        assert_eq!(worker_count(Some(0)), 1);
+        assert!(worker_count(None) >= 1);
+    }
+
+    #[test]
+    fn suite_plan_has_five_jobs_per_benchmark_and_profile_prereqs() {
+        let plan = RunPlan::suite(&[Benchmark::Adpcm, Benchmark::Gzip]);
+        assert_eq!(plan.jobs.len(), 10);
+        assert_eq!(
+            plan.profile_prerequisites(),
+            vec![Benchmark::Adpcm, Benchmark::Gzip]
+        );
+        let no_oracle = RunPlan::new()
+            .job(Benchmark::Adpcm, ConfigKind::BaselineMcd)
+            .job(Benchmark::Adpcm, ConfigKind::FullySynchronous);
+        assert!(no_oracle.profile_prerequisites().is_empty());
+    }
+
+    #[test]
+    fn engine_reuses_prerequisite_baseline_runs() {
+        let settings = ExperimentSettings {
+            benchmarks: vec![Benchmark::Adpcm],
+            instructions: 20_000,
+            interval_instructions: 1_000,
+            seed: 5,
+            global_search_iters: 1,
+            parallel: true,
+            jobs: Some(2),
+        };
+        let engine = ExperimentEngine::from_settings(&settings);
+        let plan = RunPlan::suite(&[Benchmark::Adpcm]);
+        let (outcomes, stats) = engine.execute_with_stats(&plan);
+        assert_eq!(outcomes.len(), 5);
+        // 5 plan jobs, but only 5 simulations in total: the baseline job
+        // reused the phase-1 profiling run.
+        assert_eq!(stats.runs, 5 + 1 - 1);
+        assert_eq!(stats.workers, 2);
+        assert!(stats.wall_seconds > 0.0);
+        assert!(stats.cumulative_seconds > 0.0);
+        assert!(stats.aggregate_mips > 0.0);
+        assert_eq!(
+            stats.simulated_instructions,
+            5 * settings.instructions,
+            "one simulation per distinct job"
+        );
+    }
+}

@@ -13,6 +13,7 @@ use mcd_sim::SimResult;
 use mcd_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
 
+use crate::engine::{parallel_map, EngineStats, ExperimentEngine, RunPlan};
 use crate::metrics::{suite_average, Comparison};
 use crate::report::{pct, ratio, TextTable};
 use crate::runner::{BenchmarkRunner, ConfigKind};
@@ -36,6 +37,9 @@ pub struct ExperimentSettings {
     pub global_search_iters: usize,
     /// Run benchmarks on parallel threads.
     pub parallel: bool,
+    /// Worker threads when `parallel` (None: the `MCD_JOBS` environment
+    /// variable, then the host's available parallelism).
+    pub jobs: Option<usize>,
 }
 
 impl ExperimentSettings {
@@ -56,6 +60,7 @@ impl ExperimentSettings {
             seed: 42,
             global_search_iters: 3,
             parallel: true,
+            jobs: None,
         }
     }
 
@@ -69,6 +74,7 @@ impl ExperimentSettings {
             seed: 42,
             global_search_iters: 4,
             parallel: true,
+            jobs: None,
         }
     }
 
@@ -82,6 +88,22 @@ impl ExperimentSettings {
     pub fn with_benchmarks(mut self, benchmarks: Vec<Benchmark>) -> Self {
         self.benchmarks = benchmarks;
         self
+    }
+
+    /// Builder-style override of the worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.parallel = jobs > 1;
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// The worker count these settings resolve to.
+    pub fn workers(&self) -> usize {
+        if self.parallel {
+            crate::engine::worker_count(self.jobs)
+        } else {
+            1
+        }
     }
 }
 
@@ -102,37 +124,42 @@ pub struct BenchmarkOutcomes {
     pub dynamic5: SimResult,
 }
 
-/// Runs the five configurations of every benchmark in the settings.
+/// Runs the five configurations of every benchmark in the settings on the
+/// parallel experiment engine.
 pub fn run_suite(settings: &ExperimentSettings) -> Vec<BenchmarkOutcomes> {
-    let run_one = |bench: Benchmark| -> BenchmarkOutcomes {
-        let mut runner = BenchmarkRunner::new(settings.instructions, settings.seed)
-            .with_interval(settings.interval_instructions);
-        let sync = runner.run(bench, &ConfigKind::FullySynchronous).result;
-        let baseline_mcd = runner.run(bench, &ConfigKind::BaselineMcd).result;
-        let attack_decay = runner
-            .run(bench, &ConfigKind::AttackDecay(AttackDecayParams::paper_defaults()))
-            .result;
-        let dynamic1 = runner
-            .run(bench, &ConfigKind::OfflineDynamic { target_degradation: 0.01 })
-            .result;
-        let dynamic5 = runner
-            .run(bench, &ConfigKind::OfflineDynamic { target_degradation: 0.05 })
-            .result;
-        BenchmarkOutcomes { benchmark: bench, sync, baseline_mcd, attack_decay, dynamic1, dynamic5 }
-    };
+    run_suite_with_stats(settings).0
+}
 
-    if settings.parallel {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = settings
-                .benchmarks
-                .iter()
-                .map(|&b| scope.spawn(move || run_one(b)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("benchmark thread panicked")).collect()
-        })
-    } else {
-        settings.benchmarks.iter().map(|&b| run_one(b)).collect()
+/// Runs the suite and also returns the engine's host-side statistics
+/// (worker count, wall-clock, aggregate simulated MIPS) for the
+/// `BENCH_*.json` artefacts.
+pub fn run_suite_with_stats(
+    settings: &ExperimentSettings,
+) -> (Vec<BenchmarkOutcomes>, EngineStats) {
+    let engine = ExperimentEngine::from_settings(settings);
+    let plan = RunPlan::suite(&settings.benchmarks);
+    let (outcomes, stats) = engine.execute_with_stats(&plan);
+
+    // The plan lists five configurations per benchmark, in order; move
+    // the results out (each SimResult carries a full offline profile, so
+    // cloning here would memcpy the whole suite).
+    let mut grouped = Vec::with_capacity(settings.benchmarks.len());
+    let mut runs = outcomes.into_iter();
+    while let Some(sync) = runs.next() {
+        let mut next = || {
+            runs.next()
+                .expect("plan has five configurations per benchmark")
+        };
+        grouped.push(BenchmarkOutcomes {
+            benchmark: sync.benchmark,
+            sync: sync.result,
+            baseline_mcd: next().result,
+            attack_decay: next().result,
+            dynamic1: next().result,
+            dynamic5: next().result,
+        });
     }
+    (grouped, stats)
 }
 
 /// Table 6 — comparison of Attack/Decay, Dynamic-1%, Dynamic-5% and global
@@ -233,7 +260,14 @@ pub mod table6 {
     /// degradation, and the resulting (much smaller) energy savings are
     /// reported.
     pub fn run(settings: &ExperimentSettings) -> Table6 {
-        let outcomes = run_suite(settings);
+        run_with_stats(settings).0
+    }
+
+    /// Runs the Table 6 experiment, also returning the suite engine's
+    /// host-side statistics (the `Global(...)` search runs are not part of
+    /// the returned stats).
+    pub fn run_with_stats(settings: &ExperimentSettings) -> (Table6, EngineStats) {
+        let (outcomes, stats) = run_suite_with_stats(settings);
         let mut rows = mcd_rows(&outcomes);
 
         let mcd_targets: Vec<(String, f64)> = rows
@@ -242,11 +276,10 @@ pub mod table6 {
             .collect();
 
         for (label, target) in mcd_targets {
-            let comparisons: Vec<Comparison> = outcomes
-                .iter()
-                .map(|o| {
-                    let mut runner = BenchmarkRunner::new(settings.instructions, settings.seed)
-                        .with_interval(settings.interval_instructions);
+            let runner = BenchmarkRunner::new(settings.instructions, settings.seed)
+                .with_interval(settings.interval_instructions);
+            let comparisons: Vec<Comparison> =
+                parallel_map(settings.workers(), &outcomes, |_, o| {
                     let (_, scaled) = runner.find_global_matching(
                         o.benchmark,
                         target,
@@ -254,12 +287,11 @@ pub mod table6 {
                         settings.global_search_iters,
                     );
                     Comparison::vs(&scaled.result, &o.sync)
-                })
-                .collect();
+                });
             rows.push(average_row(&format!("Global ({label})"), &comparisons));
         }
 
-        Table6 { rows }
+        (Table6 { rows }, stats)
     }
 }
 
@@ -370,7 +402,14 @@ pub mod figure4 {
 
     /// Runs the Figure 4 experiment.
     pub fn run(settings: &ExperimentSettings) -> Figure4 {
-        from_outcomes(&run_suite(settings))
+        run_with_stats(settings).0
+    }
+
+    /// Runs the Figure 4 experiment, also returning the engine's host-side
+    /// statistics.
+    pub fn run_with_stats(settings: &ExperimentSettings) -> (Figure4, EngineStats) {
+        let (outcomes, stats) = run_suite_with_stats(settings);
+        (from_outcomes(&outcomes), stats)
     }
 }
 
@@ -534,7 +573,12 @@ pub mod sensitivity {
                     ratio(p.power_perf_ratio),
                 ]);
             }
-            format!("{} sensitivity ({})\n{}", self.parameter, self.legend, t.render())
+            format!(
+                "{} sensitivity ({})\n{}",
+                self.parameter,
+                self.legend,
+                t.render()
+            )
         }
     }
 
@@ -545,23 +589,13 @@ pub mod sensitivity {
         baselines: &[(Benchmark, SimResult)],
         params: AttackDecayParams,
     ) -> (Comparison, Option<f64>) {
-        let run_one = |bench: Benchmark, reference: &SimResult| -> Comparison {
-            let mut runner = BenchmarkRunner::new(settings.instructions, settings.seed)
-                .with_interval(settings.interval_instructions);
-            let outcome = runner.run(bench, &ConfigKind::AttackDecay(params));
-            Comparison::vs(&outcome.result, reference)
-        };
-        let comparisons: Vec<Comparison> = if settings.parallel {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = baselines
-                    .iter()
-                    .map(|(b, r)| scope.spawn(move || run_one(*b, r)))
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("sweep thread panicked")).collect()
-            })
-        } else {
-            baselines.iter().map(|(b, r)| run_one(*b, r)).collect()
-        };
+        let runner = BenchmarkRunner::new(settings.instructions, settings.seed)
+            .with_interval(settings.interval_instructions);
+        let comparisons: Vec<Comparison> =
+            parallel_map(settings.workers(), baselines, |_, (bench, reference)| {
+                let outcome = runner.run(*bench, &ConfigKind::AttackDecay(params));
+                Comparison::vs(&outcome.result, reference)
+            });
         let avg = suite_average(&comparisons);
         let ratio = if avg.perf_degradation > 1e-6 {
             Some(avg.power_savings / avg.perf_degradation)
@@ -572,15 +606,11 @@ pub mod sensitivity {
     }
 
     fn baselines(settings: &ExperimentSettings) -> Vec<(Benchmark, SimResult)> {
-        settings
-            .benchmarks
-            .iter()
-            .map(|&b| {
-                let mut runner = BenchmarkRunner::new(settings.instructions, settings.seed)
-                    .with_interval(settings.interval_instructions);
-                (b, runner.run(b, &ConfigKind::BaselineMcd).result)
-            })
-            .collect()
+        let runner = BenchmarkRunner::new(settings.instructions, settings.seed)
+            .with_interval(settings.interval_instructions);
+        parallel_map(settings.workers(), &settings.benchmarks, |_, &b| {
+            (b, runner.run(b, &ConfigKind::BaselineMcd).result)
+        })
     }
 
     fn sweep(
@@ -661,10 +691,7 @@ pub mod sensitivity {
 
     /// Figures 6(c)/7(c): sweep of DeviationThresholdPercent
     /// (legend `X.XXX_06.0_0.175_2.5`).
-    pub fn sweep_deviation_threshold(
-        settings: &ExperimentSettings,
-        values: &[f64],
-    ) -> SweepResult {
+    pub fn sweep_deviation_threshold(settings: &ExperimentSettings, values: &[f64]) -> SweepResult {
         let base = AttackDecayParams::paper_defaults();
         sweep(settings, "DeviationThreshold", base, values, |mut p, v| {
             p.deviation_threshold = v;
@@ -685,7 +712,51 @@ mod tests {
             seed: 7,
             global_search_iters: 2,
             parallel: true,
+            jobs: None,
         }
+    }
+
+    #[test]
+    fn parallel_suite_is_bit_identical_to_serial() {
+        // The acceptance criterion of the engine refactor: N>1 workers must
+        // return SimResults bit-identical to the serial path (same
+        // elapsed_ps, chip energy, per-domain frequency averages; host
+        // throughput is excluded from SimResult equality by design).
+        let mut serial = tiny_settings();
+        serial.parallel = false;
+        let parallel = tiny_settings().with_jobs(4);
+        let a = run_suite(&serial);
+        let b = run_suite(&parallel);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.benchmark, y.benchmark);
+            assert_eq!(x.sync, y.sync);
+            assert_eq!(x.baseline_mcd, y.baseline_mcd);
+            assert_eq!(x.attack_decay, y.attack_decay);
+            assert_eq!(x.dynamic1, y.dynamic1);
+            assert_eq!(x.dynamic5, y.dynamic5);
+            // Spot-check the headline fields explicitly.
+            assert_eq!(x.dynamic5.elapsed_ps, y.dynamic5.elapsed_ps);
+            assert_eq!(x.dynamic5.frontend_cycles, y.dynamic5.frontend_cycles);
+            assert!((x.dynamic5.chip_energy() - y.dynamic5.chip_energy()).abs() < 1e-12);
+            assert_eq!(
+                x.dynamic5.avg_domain_freq_mhz,
+                y.dynamic5.avg_domain_freq_mhz
+            );
+        }
+    }
+
+    #[test]
+    fn suite_stats_report_host_throughput() {
+        let (outcomes, stats) = run_suite_with_stats(&tiny_settings());
+        assert_eq!(outcomes.len(), 3);
+        assert!(stats.workers >= 1);
+        // 5 configurations x 3 benchmarks, with the profiling prerequisites
+        // folded into the baseline runs.
+        assert_eq!(stats.runs, 15);
+        assert!(stats.wall_seconds > 0.0);
+        assert!(stats.aggregate_mips > 0.0);
+        assert!(stats.cumulative_seconds >= stats.wall_seconds * 0.5);
     }
 
     #[test]
@@ -707,8 +778,16 @@ mod tests {
         assert_eq!(rows.len(), 3);
         let ad = &rows[0];
         assert_eq!(ad.algorithm, "Attack/Decay");
-        assert!(ad.energy_savings > 0.02, "Attack/Decay should save energy, got {}", ad.energy_savings);
-        assert!(ad.perf_degradation < 0.15, "degradation should be bounded, got {}", ad.perf_degradation);
+        assert!(
+            ad.energy_savings > 0.02,
+            "Attack/Decay should save energy, got {}",
+            ad.energy_savings
+        );
+        assert!(
+            ad.perf_degradation < 0.15,
+            "degradation should be bounded, got {}",
+            ad.perf_degradation
+        );
         // The off-line Dynamic-5% saves at least as much energy as Dynamic-1%.
         assert!(rows[2].energy_savings >= rows[1].energy_savings - 0.02);
         let rendered = table6::Table6 { rows }.render();
@@ -724,6 +803,7 @@ mod tests {
             seed: 3,
             global_search_iters: 2,
             parallel: true,
+            jobs: None,
         });
         let fig = figure4::from_outcomes(&outcomes);
         assert_eq!(fig.rows.len(), 2);
@@ -744,7 +824,10 @@ mod tests {
         );
         // During the idle phases the controller decays the FP domain below
         // the maximum frequency.
-        assert!(fp_min < 0.999, "FP domain should decay when unused, min = {fp_min}");
+        assert!(
+            fp_min < 0.999,
+            "FP domain should decay when unused, min = {fp_min}"
+        );
         let csv = traces.to_csv();
         assert!(csv.lines().count() == traces.points.len() + 1);
     }
@@ -758,6 +841,7 @@ mod tests {
             seed: 1,
             global_search_iters: 2,
             parallel: true,
+            jobs: None,
         };
         let sweep = sensitivity::sweep_decay(&settings, &[0.0005, 0.0075]);
         assert_eq!(sweep.points.len(), 2);

@@ -7,6 +7,10 @@
 //! The crate ties the substrates of the workspace together into the
 //! evaluation flow of the paper:
 //!
+//! * [`engine`] — the parallel experiment engine: deterministic
+//!   `(benchmark, configuration)` run plans executed across scoped worker
+//!   threads with a shared profile cache and explicit profiling
+//!   prerequisite jobs.
 //! * [`runner`] — runs one benchmark under one configuration
 //!   (fully synchronous, baseline MCD, Attack/Decay, off-line Dynamic-N%,
 //!   global voltage scaling), including the two-pass profiling required by
@@ -34,12 +38,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod experiments;
 pub mod metrics;
 pub mod presets;
 pub mod report;
 pub mod runner;
 
+pub use engine::{parallel_map, worker_count, EngineStats, ExperimentEngine, JobSpec, RunPlan};
 pub use experiments::ExperimentSettings;
 pub use metrics::{suite_average, Comparison, RunMetrics};
 pub use runner::{BenchmarkRunner, ConfigKind, RunOutcome};

@@ -67,7 +67,10 @@ impl Comparison {
     /// Compares `run` against `reference` (for example Attack/Decay against
     /// the baseline MCD processor).
     pub fn vs(run: &SimResult, reference: &SimResult) -> Self {
-        Comparison::from_metrics(&RunMetrics::from_result(run), &RunMetrics::from_result(reference))
+        Comparison::from_metrics(
+            &RunMetrics::from_result(run),
+            &RunMetrics::from_result(reference),
+        )
     }
 
     /// Compares precomputed metric sets.

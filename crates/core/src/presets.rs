@@ -35,13 +35,22 @@ pub fn table4_arch_params() -> ArchParams {
 pub fn render_table1() -> String {
     let p = table1_mcd_params();
     let mut out = String::from("Table 1. MCD processor configuration parameters\n");
-    out.push_str(&format!("  Domain Voltage          {:.2} V - {:.2} V\n", p.min_voltage, p.max_voltage));
+    out.push_str(&format!(
+        "  Domain Voltage          {:.2} V - {:.2} V\n",
+        p.min_voltage, p.max_voltage
+    ));
     out.push_str(&format!(
         "  Domain Frequency        {:.0} MHz - {:.0} MHz ({} operating points)\n",
         p.min_freq_mhz, p.max_freq_mhz, p.num_operating_points
     ));
-    out.push_str(&format!("  Frequency Change Rate   {} ns/MHz\n", p.freq_change_rate_ns_per_mhz));
-    out.push_str(&format!("  Domain Clock Jitter     {} ps (normally distributed about zero)\n", p.jitter_sigma_ps));
+    out.push_str(&format!(
+        "  Frequency Change Rate   {} ns/MHz\n",
+        p.freq_change_rate_ns_per_mhz
+    ));
+    out.push_str(&format!(
+        "  Domain Clock Jitter     {} ps (normally distributed about zero)\n",
+        p.jitter_sigma_ps
+    ));
     out.push_str(&format!(
         "  Synchronization Window  {} ps ({:.0}% of the {:.1} GHz clock)\n",
         p.sync_window_ps,
@@ -56,11 +65,30 @@ pub fn render_table2() -> String {
     let r = table2_param_ranges();
     let mut out = String::from("Table 2. Attack/Decay configuration parameters\n");
     let pct = |x: f64| format!("{:.1}%", x * 100.0);
-    out.push_str(&format!("  DeviationThreshold   {} - {}\n", pct(r.deviation_threshold.0), pct(r.deviation_threshold.1)));
-    out.push_str(&format!("  ReactionChange       {} - {}\n", pct(r.reaction_change.0), pct(r.reaction_change.1)));
-    out.push_str(&format!("  Decay                {} - {}\n", pct(r.decay.0), pct(r.decay.1)));
-    out.push_str(&format!("  PerfDegThreshold     {} - {}\n", pct(r.perf_deg_threshold.0), pct(r.perf_deg_threshold.1)));
-    out.push_str(&format!("  EndstopCount         {} - {} intervals\n", r.endstop_count.0, r.endstop_count.1));
+    out.push_str(&format!(
+        "  DeviationThreshold   {} - {}\n",
+        pct(r.deviation_threshold.0),
+        pct(r.deviation_threshold.1)
+    ));
+    out.push_str(&format!(
+        "  ReactionChange       {} - {}\n",
+        pct(r.reaction_change.0),
+        pct(r.reaction_change.1)
+    ));
+    out.push_str(&format!(
+        "  Decay                {} - {}\n",
+        pct(r.decay.0),
+        pct(r.decay.1)
+    ));
+    out.push_str(&format!(
+        "  PerfDegThreshold     {} - {}\n",
+        pct(r.perf_deg_threshold.0),
+        pct(r.perf_deg_threshold.1)
+    ));
+    out.push_str(&format!(
+        "  EndstopCount         {} - {} intervals\n",
+        r.endstop_count.0, r.endstop_count.1
+    ));
     out
 }
 
@@ -83,19 +111,43 @@ pub fn render_table3() -> String {
 pub fn render_table4() -> String {
     let a = table4_arch_params();
     let mut out = String::from("Table 4. Architectural parameters (Alpha 21264-like)\n");
-    out.push_str(&format!("  Decode / Issue / Retire width   {} / {} / {}\n", a.decode_width, a.int_issue_width + a.fp_issue_width, a.retire_width));
-    out.push_str(&format!("  Reorder buffer                  {} entries\n", a.rob_size));
-    out.push_str(&format!("  Integer / FP issue queues       {} / {} entries\n", a.int_iq_size, a.fp_iq_size));
-    out.push_str(&format!("  Load/store queue                {} entries\n", a.lsq_size));
-    out.push_str(&format!("  Physical registers              {} integer, {} floating-point\n", a.int_phys_regs, a.fp_phys_regs));
-    out.push_str(&format!("  Branch mispredict penalty       {} cycles\n", a.mispredict_penalty));
+    out.push_str(&format!(
+        "  Decode / Issue / Retire width   {} / {} / {}\n",
+        a.decode_width,
+        a.int_issue_width + a.fp_issue_width,
+        a.retire_width
+    ));
+    out.push_str(&format!(
+        "  Reorder buffer                  {} entries\n",
+        a.rob_size
+    ));
+    out.push_str(&format!(
+        "  Integer / FP issue queues       {} / {} entries\n",
+        a.int_iq_size, a.fp_iq_size
+    ));
+    out.push_str(&format!(
+        "  Load/store queue                {} entries\n",
+        a.lsq_size
+    ));
+    out.push_str(&format!(
+        "  Physical registers              {} integer, {} floating-point\n",
+        a.int_phys_regs, a.fp_phys_regs
+    ));
+    out.push_str(&format!(
+        "  Branch mispredict penalty       {} cycles\n",
+        a.mispredict_penalty
+    ));
     out.push_str(&format!(
         "  L1 I/D caches                   {} KB, {}-way, {}-cycle\n",
-        a.l1d.size_bytes / 1024, a.l1d.ways, a.l1d.latency_cycles
+        a.l1d.size_bytes / 1024,
+        a.l1d.ways,
+        a.l1d.latency_cycles
     ));
     out.push_str(&format!(
         "  L2 cache                        {} MB, {}-way, {}-cycle\n",
-        a.l2.size_bytes / (1024 * 1024), a.l2.ways, a.l2.latency_cycles
+        a.l2.size_bytes / (1024 * 1024),
+        a.l2.ways,
+        a.l2.latency_cycles
     ));
     out
 }

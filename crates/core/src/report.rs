@@ -24,7 +24,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row (must have the same arity as the header).
@@ -34,7 +37,11 @@ impl TextTable {
     /// Panics if the row length does not match the header length.
     pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
         let row: Vec<String> = row.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.header.len(), "row arity must match the header");
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity must match the header"
+        );
         self.rows.push(row);
     }
 

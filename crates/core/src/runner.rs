@@ -7,6 +7,7 @@
 //! performance degradation (used for the `Global(...)` rows of Table 6).
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use mcd_clock::{MegaHertz, OperatingPointTable};
 use mcd_control::{
@@ -66,8 +67,16 @@ pub struct RunOutcome {
     pub result: SimResult,
 }
 
+/// A profile cache shareable between runners and the parallel experiment
+/// engine's workers.
+pub type SharedProfileCache = Arc<Mutex<HashMap<Benchmark, OfflineProfile>>>;
+
 /// Runs benchmarks under the paper's configurations, caching the profiling
 /// runs needed by the off-line oracle.
+///
+/// The cache sits behind a shared lock so that the parallel experiment
+/// engine's workers all see the same profiles; `run` itself takes `&self`
+/// and is safe to call from many threads at once.
 #[derive(Debug)]
 pub struct BenchmarkRunner {
     /// Committed instructions per run.
@@ -81,7 +90,7 @@ pub struct BenchmarkRunner {
     /// window so that short runs still contain enough control intervals for
     /// the algorithms to act (see DESIGN.md, "Substitutions").
     pub interval_instructions: u64,
-    profiles: HashMap<Benchmark, OfflineProfile>,
+    profiles: SharedProfileCache,
 }
 
 impl BenchmarkRunner {
@@ -92,7 +101,7 @@ impl BenchmarkRunner {
             seed,
             record_traces: false,
             interval_instructions: 10_000,
-            profiles: HashMap::new(),
+            profiles: Arc::default(),
         }
     }
 
@@ -100,6 +109,20 @@ impl BenchmarkRunner {
     pub fn with_interval(mut self, interval_instructions: u64) -> Self {
         self.interval_instructions = interval_instructions;
         self
+    }
+
+    /// Builder-style attachment of a shared profile cache.
+    pub fn with_profile_cache(mut self, cache: SharedProfileCache) -> Self {
+        self.profiles = cache;
+        self
+    }
+
+    /// Whether the profile of `bench` is already cached.
+    pub fn has_profile(&self, bench: Benchmark) -> bool {
+        self.profiles
+            .lock()
+            .expect("profile cache poisoned")
+            .contains_key(&bench)
     }
 
     fn sim_config(&self, kind: &ConfigKind) -> SimConfig {
@@ -115,7 +138,7 @@ impl BenchmarkRunner {
         cfg
     }
 
-    fn controller(&mut self, bench: Benchmark, kind: &ConfigKind) -> Box<dyn FrequencyController> {
+    fn controller(&self, bench: Benchmark, kind: &ConfigKind) -> Box<dyn FrequencyController> {
         let table = OperatingPointTable::default();
         match kind {
             ConfigKind::FullySynchronous | ConfigKind::BaselineMcd => {
@@ -126,7 +149,11 @@ impl BenchmarkRunner {
             }
             ConfigKind::OfflineDynamic { target_degradation } => {
                 let profile = self.profile_for(bench);
-                Box::new(OfflineController::from_profile(profile, *target_degradation, &table))
+                Box::new(OfflineController::from_profile(
+                    profile,
+                    *target_degradation,
+                    &table,
+                ))
             }
             ConfigKind::GlobalScaling { freq_mhz } => {
                 Box::new(GlobalScalingController::new(*freq_mhz))
@@ -137,18 +164,24 @@ impl BenchmarkRunner {
     /// The per-interval activity profile of `bench` gathered from a
     /// baseline-MCD run at maximum frequency (cached across calls; this is
     /// the "first pass" of the off-line algorithm).
-    pub fn profile_for(&mut self, bench: Benchmark) -> OfflineProfile {
-        if let Some(p) = self.profiles.get(&bench) {
+    pub fn profile_for(&self, bench: Benchmark) -> OfflineProfile {
+        if let Some(p) = self
+            .profiles
+            .lock()
+            .expect("profile cache poisoned")
+            .get(&bench)
+        {
             return p.clone();
         }
+        // The baseline run below re-checks and fills the cache.
         let result = self.run(bench, &ConfigKind::BaselineMcd);
-        let profile = result.result.profile.clone();
-        self.profiles.insert(bench, profile.clone());
-        profile
+        result.result.profile
     }
 
-    /// Runs `bench` under `kind` and returns the outcome.
-    pub fn run(&mut self, bench: Benchmark, kind: &ConfigKind) -> RunOutcome {
+    /// Runs `bench` under `kind` and returns the outcome.  Takes `&self`:
+    /// runs are pure functions of the runner's settings, so the parallel
+    /// engine calls this concurrently from its workers.
+    pub fn run(&self, bench: Benchmark, kind: &ConfigKind) -> RunOutcome {
         let spec = bench.spec();
         let stream = WorkloadGenerator::new(&spec, self.seed, self.instructions);
         let controller = self.controller(bench, kind);
@@ -157,10 +190,18 @@ impl BenchmarkRunner {
         cpu.warm_caches(&WorkloadGenerator::warm_regions(&spec));
         let result = cpu.run(stream);
         // Cache the profile opportunistically from baseline runs.
-        if matches!(kind, ConfigKind::BaselineMcd) && !self.profiles.contains_key(&bench) {
-            self.profiles.insert(bench, result.profile.clone());
+        if matches!(kind, ConfigKind::BaselineMcd) {
+            self.profiles
+                .lock()
+                .expect("profile cache poisoned")
+                .entry(bench)
+                .or_insert_with(|| result.profile.clone());
         }
-        RunOutcome { benchmark: bench, config: kind.clone(), result }
+        RunOutcome {
+            benchmark: bench,
+            config: kind.clone(),
+            result,
+        }
     }
 
     /// Finds the global frequency at which the fully synchronous processor
@@ -172,7 +213,7 @@ impl BenchmarkRunner {
     /// controls the number of refinement runs (4 gives a match within a few
     /// tenths of a percent, which is the paper's own granularity).
     pub fn find_global_matching(
-        &mut self,
+        &self,
         bench: Benchmark,
         target_degradation: f64,
         sync_reference: &SimResult,
@@ -222,31 +263,41 @@ mod tests {
     fn labels_match_paper_terms() {
         assert_eq!(ConfigKind::BaselineMcd.label(), "Baseline MCD");
         assert_eq!(
-            ConfigKind::OfflineDynamic { target_degradation: 0.05 }.label(),
+            ConfigKind::OfflineDynamic {
+                target_degradation: 0.05
+            }
+            .label(),
             "Dynamic-5%"
         );
         assert_eq!(
             ConfigKind::AttackDecay(AttackDecayParams::paper_defaults()).label(),
             "Attack/Decay"
         );
-        assert!(ConfigKind::GlobalScaling { freq_mhz: 875.0 }.label().contains("875"));
+        assert!(ConfigKind::GlobalScaling { freq_mhz: 875.0 }
+            .label()
+            .contains("875"));
     }
 
     #[test]
     fn runner_runs_and_caches_profiles() {
-        let mut runner = BenchmarkRunner::new(25_000, 7);
+        let runner = BenchmarkRunner::new(25_000, 7);
         let baseline = runner.run(Benchmark::Adpcm, &ConfigKind::BaselineMcd);
         assert_eq!(baseline.result.committed_instructions, 25_000);
         // The profile is now cached: the offline configuration reuses it.
         let profile = runner.profile_for(Benchmark::Adpcm);
         assert_eq!(profile.len(), baseline.result.profile.len());
-        let offline = runner.run(Benchmark::Adpcm, &ConfigKind::OfflineDynamic { target_degradation: 0.05 });
+        let offline = runner.run(
+            Benchmark::Adpcm,
+            &ConfigKind::OfflineDynamic {
+                target_degradation: 0.05,
+            },
+        );
         assert_eq!(offline.result.committed_instructions, 25_000);
     }
 
     #[test]
     fn attack_decay_run_saves_energy_vs_baseline_on_integer_code() {
-        let mut runner = BenchmarkRunner::new(60_000, 11);
+        let runner = BenchmarkRunner::new(60_000, 11);
         let baseline = runner.run(Benchmark::Gzip, &ConfigKind::BaselineMcd);
         let ad = runner.run(
             Benchmark::Gzip,
@@ -260,7 +311,7 @@ mod tests {
 
     #[test]
     fn global_matching_finds_a_slower_frequency() {
-        let mut runner = BenchmarkRunner::new(25_000, 3);
+        let runner = BenchmarkRunner::new(25_000, 3);
         let sync = runner.run(Benchmark::Adpcm, &ConfigKind::FullySynchronous);
         let (freq, outcome) = runner.find_global_matching(Benchmark::Adpcm, 0.05, &sync.result, 3);
         assert!(freq < 1000.0);

@@ -145,12 +145,16 @@ impl DynInst {
 
     /// Convenience constructor for an integer ALU operation.
     pub fn alu(seq: SeqNum, pc: u64, dst: Reg, srcs: &[Reg]) -> Self {
-        DynInst::new(seq, pc, OpClass::IntAlu).with_dst(dst).with_srcs(srcs)
+        DynInst::new(seq, pc, OpClass::IntAlu)
+            .with_dst(dst)
+            .with_srcs(srcs)
     }
 
     /// Convenience constructor for a floating-point add.
     pub fn fp_add(seq: SeqNum, pc: u64, dst: Reg, srcs: &[Reg]) -> Self {
-        DynInst::new(seq, pc, OpClass::FpAdd).with_dst(dst).with_srcs(srcs)
+        DynInst::new(seq, pc, OpClass::FpAdd)
+            .with_dst(dst)
+            .with_srcs(srcs)
     }
 
     /// Convenience constructor for a load.
@@ -163,7 +167,9 @@ impl DynInst {
 
     /// Convenience constructor for a store.
     pub fn store(seq: SeqNum, pc: u64, srcs: &[Reg], mem: MemInfo) -> Self {
-        DynInst::new(seq, pc, OpClass::Store).with_srcs(srcs).with_mem(mem)
+        DynInst::new(seq, pc, OpClass::Store)
+            .with_srcs(srcs)
+            .with_mem(mem)
     }
 
     /// Convenience constructor for a conditional branch.
@@ -267,10 +273,16 @@ impl std::fmt::Display for InstValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             InstValidationError::MemAnnotation(s) => {
-                write!(f, "instruction {s}: memory annotation inconsistent with op class")
+                write!(
+                    f,
+                    "instruction {s}: memory annotation inconsistent with op class"
+                )
             }
             InstValidationError::BranchAnnotation(s) => {
-                write!(f, "instruction {s}: branch annotation inconsistent with op class")
+                write!(
+                    f,
+                    "instruction {s}: branch annotation inconsistent with op class"
+                )
             }
             InstValidationError::LoadWithoutDest(s) => {
                 write!(f, "instruction {s}: load without destination register")
@@ -340,7 +352,10 @@ mod tests {
         let bad = DynInst::new(5, 0, OpClass::FpMult)
             .with_dst(Reg::int(3))
             .with_srcs(&[Reg::fp(1)]);
-        assert_eq!(bad.validate(), Err(InstValidationError::DestClassMismatch(5)));
+        assert_eq!(
+            bad.validate(),
+            Err(InstValidationError::DestClassMismatch(5))
+        );
         assert_eq!(Reg::int(3).class(), RegClass::Int);
     }
 

@@ -168,10 +168,7 @@ impl OpClass {
     /// multiply/divide operations as well as branches, which resolve on the
     /// integer ALUs).
     pub fn is_int(self) -> bool {
-        matches!(
-            self,
-            OpClass::IntAlu | OpClass::IntMult | OpClass::IntDiv
-        ) || self.is_branch()
+        matches!(self, OpClass::IntAlu | OpClass::IntMult | OpClass::IntDiv) || self.is_branch()
     }
 
     /// A short lower-case mnemonic for reports and traces.
@@ -262,7 +259,11 @@ mod tests {
     fn mnemonics_are_unique() {
         let mut seen = std::collections::HashSet::new();
         for op in OpClass::ALL {
-            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+            assert!(
+                seen.insert(op.mnemonic()),
+                "duplicate mnemonic {}",
+                op.mnemonic()
+            );
         }
     }
 

@@ -53,8 +53,14 @@ impl Reg {
     ///
     /// Panics if `index >= 32`.
     pub fn int(index: u8) -> Self {
-        assert!(index < NUM_ARCH_INT_REGS, "integer register index out of range");
-        Reg { class: RegClass::Int, index }
+        assert!(
+            index < NUM_ARCH_INT_REGS,
+            "integer register index out of range"
+        );
+        Reg {
+            class: RegClass::Int,
+            index,
+        }
     }
 
     /// Creates a floating-point register reference.
@@ -63,8 +69,14 @@ impl Reg {
     ///
     /// Panics if `index >= 32`.
     pub fn fp(index: u8) -> Self {
-        assert!(index < NUM_ARCH_FP_REGS, "floating-point register index out of range");
-        Reg { class: RegClass::Fp, index }
+        assert!(
+            index < NUM_ARCH_FP_REGS,
+            "floating-point register index out of range"
+        );
+        Reg {
+            class: RegClass::Fp,
+            index,
+        }
     }
 
     /// The register class.

@@ -30,7 +30,10 @@ pub trait InstructionStream {
     where
         Self: Sized,
     {
-        Take { inner: self, remaining: n }
+        Take {
+            inner: self,
+            remaining: n,
+        }
     }
 }
 
@@ -170,7 +173,9 @@ impl StreamStats {
         let mut stats = StreamStats::default();
         let mut lines = std::collections::HashSet::new();
         for _ in 0..limit {
-            let Some(inst) = stream.next_inst() else { break };
+            let Some(inst) = stream.next_inst() else {
+                break;
+            };
             stats.total += 1;
             stats.last_seq = inst.seq;
             match inst.op {
@@ -236,7 +241,13 @@ mod tests {
         (0..n)
             .map(|i| match i % 4 {
                 0 => DynInst::alu(i, 0x1000 + 4 * i, Reg::int(1), &[Reg::int(2)]),
-                1 => DynInst::load(i, 0x1000 + 4 * i, Reg::int(3), &[Reg::int(1)], MemInfo::new(64 * i, 8)),
+                1 => DynInst::load(
+                    i,
+                    0x1000 + 4 * i,
+                    Reg::int(3),
+                    &[Reg::int(1)],
+                    MemInfo::new(64 * i, 8),
+                ),
                 2 => DynInst::fp_add(i, 0x1000 + 4 * i, Reg::fp(1), &[Reg::fp(2)]),
                 _ => DynInst::branch(i, 0x1000 + 4 * i, &[Reg::int(3)], i % 8 == 3, 0x1000),
             })

@@ -184,7 +184,12 @@ impl BranchPredictor {
             .iter_mut()
             .max_by_key(|e| if e.valid { e.lru } else { u8::MAX })
             .expect("btb has at least one way");
-        *victim = BtbEntry { valid: true, tag, target, lru: 0 };
+        *victim = BtbEntry {
+            valid: true,
+            tag,
+            target,
+            lru: 0,
+        };
         // Age the others.
         for e in self.btb[base..base + self.config.btb_ways].iter_mut() {
             if e.valid && e.tag != tag {
@@ -222,7 +227,14 @@ impl BranchPredictor {
     ///
     /// The front end calls [`BranchPredictor::predict`] at fetch time and
     /// this method at resolve time with the actual outcome.
-    pub fn update(&mut self, pc: u64, op: OpClass, prediction: Prediction, taken: bool, target: u64) -> bool {
+    pub fn update(
+        &mut self,
+        pc: u64,
+        op: OpClass,
+        prediction: Prediction,
+        taken: bool,
+        target: u64,
+    ) -> bool {
         debug_assert!(op.is_branch());
         let mut correct = true;
 
@@ -363,7 +375,10 @@ mod tests {
             x ^ (x >> 33)
         };
         let acc = run_pattern(&mut bp, 0x5000, 2_000, |i| mix(i) % 2 == 0);
-        assert!(acc < 0.75, "random branches should not be highly predictable, got {acc}");
+        assert!(
+            acc < 0.75,
+            "random branches should not be highly predictable, got {acc}"
+        );
     }
 
     #[test]
@@ -381,15 +396,23 @@ mod tests {
 
     #[test]
     fn btb_conflict_evicts_lru_way() {
-        let mut cfg = BranchPredictorConfig::default();
-        cfg.btb_sets = 2;
-        cfg.btb_ways = 2;
+        let cfg = BranchPredictorConfig {
+            btb_sets: 2,
+            btb_ways: 2,
+            ..Default::default()
+        };
         let mut bp = BranchPredictor::new(cfg);
         // Three branches mapping to the same set (stride = 2 sets * 4 bytes).
         let pcs = [0x1000u64, 0x1008, 0x1010];
         for (i, &pc) in pcs.iter().enumerate() {
             let pred = bp.predict(pc, OpClass::BranchUncond);
-            bp.update(pc, OpClass::BranchUncond, pred, true, 0x100 * (i as u64 + 1));
+            bp.update(
+                pc,
+                OpClass::BranchUncond,
+                pred,
+                true,
+                0x100 * (i as u64 + 1),
+            );
         }
         // The first PC should have been evicted by the third.
         let pred = bp.predict(pcs[0], OpClass::BranchUncond);
@@ -415,8 +438,10 @@ mod tests {
 
     #[test]
     fn ras_overflow_drops_oldest_entry() {
-        let mut cfg = BranchPredictorConfig::default();
-        cfg.ras_depth = 2;
+        let cfg = BranchPredictorConfig {
+            ras_depth: 2,
+            ..Default::default()
+        };
         let mut bp = BranchPredictor::new(cfg);
         for pc in [0x100u64, 0x200, 0x300] {
             let pred = bp.predict(pc, OpClass::Call);

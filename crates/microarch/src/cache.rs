@@ -23,12 +23,22 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// 64 KB, 2-way, 64-byte lines, 2-cycle latency (the paper's L1).
     pub fn l1_64k_2way() -> Self {
-        CacheConfig { size_bytes: 64 * 1024, ways: 2, line_bytes: 64, latency_cycles: 2 }
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 2,
+            line_bytes: 64,
+            latency_cycles: 2,
+        }
     }
 
     /// 1 MB, direct-mapped, 64-byte lines, 12-cycle latency (the paper's L2).
     pub fn l2_1m_direct() -> Self {
-        CacheConfig { size_bytes: 1024 * 1024, ways: 1, line_bytes: 64, latency_cycles: 12 }
+        CacheConfig {
+            size_bytes: 1024 * 1024,
+            ways: 1,
+            line_bytes: 64,
+            latency_cycles: 12,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -48,7 +58,10 @@ impl CacheConfig {
         if self.ways == 0 {
             return Err("associativity must be at least 1".to_string());
         }
-        if self.size_bytes % (self.line_bytes * self.ways as u64) != 0 {
+        if !self
+            .size_bytes
+            .is_multiple_of(self.line_bytes * self.ways as u64)
+        {
             return Err("capacity must be a multiple of line size times associativity".to_string());
         }
         if self.num_sets() == 0 {
@@ -115,7 +128,11 @@ impl Cache {
             .validate()
             .unwrap_or_else(|e| panic!("invalid cache configuration: {e}"));
         let lines = vec![Line::default(); config.num_sets() * config.ways];
-        Cache { config, lines, stats: CacheStats::default() }
+        Cache {
+            config,
+            lines,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The configuration of this cache.
@@ -180,7 +197,12 @@ impl Cache {
         }
         for (i, l) in ways.iter_mut().enumerate() {
             if i == victim_way {
-                *l = Line { valid: true, dirty: is_write, tag, lru: 0 };
+                *l = Line {
+                    valid: true,
+                    dirty: is_write,
+                    tag,
+                    lru: 0,
+                };
             } else if l.valid {
                 l.lru = l.lru.saturating_add(1);
             }
@@ -214,7 +236,12 @@ impl Cache {
             .max_by_key(|(_, l)| if l.valid { l.lru } else { u32::MAX })
             .map(|(i, _)| i)
             .expect("cache set has at least one way");
-        ways[victim_way] = Line { valid: true, dirty: false, tag, lru: 0 };
+        ways[victim_way] = Line {
+            valid: true,
+            dirty: false,
+            tag,
+            lru: 0,
+        };
     }
 
     /// Invalidates every line (used between runs).
@@ -243,16 +270,31 @@ mod tests {
 
     #[test]
     fn invalid_geometries_are_rejected() {
-        let bad = CacheConfig { size_bytes: 1000, ways: 3, line_bytes: 48, latency_cycles: 1 };
+        let bad = CacheConfig {
+            size_bytes: 1000,
+            ways: 3,
+            line_bytes: 48,
+            latency_cycles: 1,
+        };
         assert!(bad.validate().is_err());
-        let bad = CacheConfig { size_bytes: 64, ways: 0, line_bytes: 64, latency_cycles: 1 };
+        let bad = CacheConfig {
+            size_bytes: 64,
+            ways: 0,
+            line_bytes: 64,
+            latency_cycles: 1,
+        };
         assert!(bad.validate().is_err());
     }
 
     #[test]
     #[should_panic(expected = "invalid cache configuration")]
     fn constructor_panics_on_invalid_config() {
-        let _ = Cache::new(CacheConfig { size_bytes: 100, ways: 1, line_bytes: 3, latency_cycles: 1 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 100,
+            ways: 1,
+            line_bytes: 3,
+            latency_cycles: 1,
+        });
     }
 
     #[test]
@@ -299,7 +341,12 @@ mod tests {
     #[test]
     fn lru_keeps_most_recently_used_line() {
         // Tiny 2-way cache with 1 set to test replacement directly.
-        let cfg = CacheConfig { size_bytes: 128, ways: 2, line_bytes: 64, latency_cycles: 1 };
+        let cfg = CacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            line_bytes: 64,
+            latency_cycles: 1,
+        };
         let mut c = Cache::new(cfg);
         c.access(0, false); // line A
         c.access(64, false); // line B (set is {A, B})
@@ -312,7 +359,12 @@ mod tests {
 
     #[test]
     fn dirty_eviction_counts_writeback() {
-        let cfg = CacheConfig { size_bytes: 64, ways: 1, line_bytes: 64, latency_cycles: 1 };
+        let cfg = CacheConfig {
+            size_bytes: 64,
+            ways: 1,
+            line_bytes: 64,
+            latency_cycles: 1,
+        };
         let mut c = Cache::new(cfg);
         c.access(0, true); // dirty line
         c.access(64, false); // evicts it

@@ -54,22 +54,32 @@ pub struct FuPoolConfig {
 impl FuPoolConfig {
     /// The integer domain of Table 4: 4 ALUs + 1 mult/div unit.
     pub fn integer_domain() -> Self {
-        FuPoolConfig { units: vec![(FuKind::IntAlu, 4), (FuKind::IntMultDiv, 1)] }
+        FuPoolConfig {
+            units: vec![(FuKind::IntAlu, 4), (FuKind::IntMultDiv, 1)],
+        }
     }
 
     /// The floating-point domain of Table 4: 2 ALUs + 1 mult/div/sqrt unit.
     pub fn fp_domain() -> Self {
-        FuPoolConfig { units: vec![(FuKind::FpAlu, 2), (FuKind::FpMultDiv, 1)] }
+        FuPoolConfig {
+            units: vec![(FuKind::FpAlu, 2), (FuKind::FpMultDiv, 1)],
+        }
     }
 
     /// The load/store domain: two cache ports.
     pub fn loadstore_domain() -> Self {
-        FuPoolConfig { units: vec![(FuKind::MemPort, 2)] }
+        FuPoolConfig {
+            units: vec![(FuKind::MemPort, 2)],
+        }
     }
 
     /// Number of units of `kind`.
     pub fn count(&self, kind: FuKind) -> usize {
-        self.units.iter().find(|(k, _)| *k == kind).map(|(_, c)| *c).unwrap_or(0)
+        self.units
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
     }
 }
 
@@ -92,7 +102,11 @@ impl FuPool {
             .map(|&(kind, count)| (kind, vec![0u64; count]))
             .collect();
         let issue_counts = config.units.iter().map(|&(kind, _)| (kind, 0)).collect();
-        FuPool { config, busy_until, issue_counts }
+        FuPool {
+            config,
+            busy_until,
+            issue_counts,
+        }
     }
 
     /// The pool's configuration.
@@ -156,12 +170,30 @@ mod tests {
 
     #[test]
     fn exec_class_mapping() {
-        assert_eq!(FuKind::for_exec_class(ExecClass::IntAlu), Some(FuKind::IntAlu));
-        assert_eq!(FuKind::for_exec_class(ExecClass::Branch), Some(FuKind::IntAlu));
-        assert_eq!(FuKind::for_exec_class(ExecClass::IntMultDiv), Some(FuKind::IntMultDiv));
-        assert_eq!(FuKind::for_exec_class(ExecClass::FpAlu), Some(FuKind::FpAlu));
-        assert_eq!(FuKind::for_exec_class(ExecClass::FpMultDiv), Some(FuKind::FpMultDiv));
-        assert_eq!(FuKind::for_exec_class(ExecClass::Mem), Some(FuKind::MemPort));
+        assert_eq!(
+            FuKind::for_exec_class(ExecClass::IntAlu),
+            Some(FuKind::IntAlu)
+        );
+        assert_eq!(
+            FuKind::for_exec_class(ExecClass::Branch),
+            Some(FuKind::IntAlu)
+        );
+        assert_eq!(
+            FuKind::for_exec_class(ExecClass::IntMultDiv),
+            Some(FuKind::IntMultDiv)
+        );
+        assert_eq!(
+            FuKind::for_exec_class(ExecClass::FpAlu),
+            Some(FuKind::FpAlu)
+        );
+        assert_eq!(
+            FuKind::for_exec_class(ExecClass::FpMultDiv),
+            Some(FuKind::FpMultDiv)
+        );
+        assert_eq!(
+            FuKind::for_exec_class(ExecClass::Mem),
+            Some(FuKind::MemPort)
+        );
         assert_eq!(FuKind::for_exec_class(ExecClass::None), None);
     }
 

@@ -66,6 +66,12 @@ impl IssueQueue {
 
     /// Inserts a dispatched instruction.
     ///
+    /// Entries are kept sorted by sequence number so that the issue logic
+    /// can walk visible entries oldest-first without sorting.  Dispatch
+    /// happens in program order, so the common case is a plain push; an
+    /// out-of-order insert (only exercised by unit tests) falls back to a
+    /// sorted insertion.
+    ///
     /// # Errors
     ///
     /// Returns `Err(seq)` if the queue is full.
@@ -73,31 +79,48 @@ impl IssueQueue {
         if self.is_full() {
             return Err(seq);
         }
-        self.entries.push((seq, visible_at_ps));
+        match self.entries.last() {
+            Some(&(last, _)) if last > seq => {
+                let pos = self.entries.partition_point(|&(s, _)| s < seq);
+                self.entries.insert(pos, (seq, visible_at_ps));
+            }
+            _ => self.entries.push((seq, visible_at_ps)),
+        }
         Ok(())
     }
 
     /// Removes an entry (at issue time).  Returns `true` if it was present.
     pub fn remove(&mut self, seq: SeqNum) -> bool {
         if let Some(pos) = self.entries.iter().position(|&(s, _)| s == seq) {
-            self.entries.swap_remove(pos);
+            // Ordered removal keeps the entries sorted by sequence number
+            // (the queue holds at most a few dozen entries).
+            self.entries.remove(pos);
             true
         } else {
             false
         }
     }
 
-    /// Iterator over `(seq, visible_at_ps)` pairs of entries that are
-    /// visible at `now_ps`, oldest first.
+    /// Appends the sequence numbers of entries visible at `now_ps` to
+    /// `out`, oldest first, without allocating (the entries are maintained
+    /// in sequence order).
+    pub fn visible_into(&self, now_ps: u64, out: &mut Vec<SeqNum>) {
+        debug_assert!(self.entries.windows(2).all(|w| w[0].0 < w[1].0));
+        out.extend(
+            self.entries
+                .iter()
+                .filter(|&&(_, t)| t <= now_ps)
+                .map(|&(s, _)| s),
+        );
+    }
+
+    /// Iterator over sequence numbers of entries that are visible at
+    /// `now_ps`, oldest first (allocating convenience wrapper around
+    /// [`IssueQueue::visible_into`]).
     pub fn visible_entries(&self, now_ps: u64) -> impl Iterator<Item = SeqNum> + '_ {
-        let mut v: Vec<(SeqNum, u64)> = self
-            .entries
-            .iter()
-            .copied()
-            .filter(move |&(_, t)| t <= now_ps)
-            .collect();
-        v.sort_unstable_by_key(|&(s, _)| s);
-        v.into_iter().map(|(s, _)| s)
+        let mut v = Vec::new();
+        self.visible_into(now_ps, &mut v);
+        v.into_iter()
     }
 
     /// Iterator over all entries regardless of visibility.

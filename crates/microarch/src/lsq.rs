@@ -210,17 +210,37 @@ impl LoadStoreQueue {
         }
     }
 
+    /// Appends the sequence numbers of entries that are visible, ready and
+    /// not yet issued at `now_ps` to `out`, oldest first, without
+    /// allocating (the queue is maintained in program order).
+    pub fn issue_candidates_into(&self, now_ps: u64, out: &mut Vec<SeqNum>) {
+        out.extend(
+            self.entries
+                .iter()
+                .filter(|e| e.visible_at_ps <= now_ps && e.operands_ready && !e.issued)
+                .map(|e| e.seq),
+        );
+    }
+
     /// Sequence numbers of entries that are visible, ready and not yet
-    /// issued at `now_ps`, oldest first.
+    /// issued at `now_ps`, oldest first (allocating convenience wrapper
+    /// around [`LoadStoreQueue::issue_candidates_into`]).
     pub fn issue_candidates(&self, now_ps: u64) -> Vec<SeqNum> {
-        let mut v: Vec<SeqNum> = self
-            .entries
-            .iter()
-            .filter(|e| e.visible_at_ps <= now_ps && e.operands_ready && !e.issued)
-            .map(|e| e.seq)
-            .collect();
-        v.sort_unstable();
+        let mut v = Vec::new();
+        self.issue_candidates_into(now_ps, &mut v);
         v
+    }
+
+    /// Applies `ready` to every entry whose operands are not yet known and
+    /// marks those for which it returns `true`.  This lets the simulator
+    /// update address readiness in one in-place pass instead of collecting
+    /// sequence numbers and re-finding each entry with a linear scan.
+    pub fn update_operand_readiness(&mut self, mut ready: impl FnMut(&LsqEntry) -> bool) {
+        for e in &mut self.entries {
+            if !e.operands_ready && ready(e) {
+                e.operands_ready = true;
+            }
+        }
     }
 
     /// Adds the current occupancy to the per-interval accumulator (once per

@@ -30,8 +30,14 @@ impl RenameAllocator {
     /// Panics if a physical register file is not larger than its
     /// architectural register count.
     pub fn new(int_phys: usize, fp_phys: usize, int_arch: usize, fp_arch: usize) -> Self {
-        assert!(int_phys > int_arch, "need at least one integer rename register");
-        assert!(fp_phys > fp_arch, "need at least one floating-point rename register");
+        assert!(
+            int_phys > int_arch,
+            "need at least one integer rename register"
+        );
+        assert!(
+            fp_phys > fp_arch,
+            "need at least one floating-point rename register"
+        );
         RenameAllocator {
             int_free: int_phys - int_arch,
             fp_free: fp_phys - fp_arch,
@@ -85,11 +91,17 @@ impl RenameAllocator {
     pub fn release(&mut self, class: RegClass) {
         match class {
             RegClass::Int => {
-                assert!(self.int_free < self.int_total, "integer rename register over-release");
+                assert!(
+                    self.int_free < self.int_total,
+                    "integer rename register over-release"
+                );
                 self.int_free += 1;
             }
             RegClass::Fp => {
-                assert!(self.fp_free < self.fp_total, "fp rename register over-release");
+                assert!(
+                    self.fp_free < self.fp_total,
+                    "fp rename register over-release"
+                );
                 self.fp_free += 1;
             }
         }
@@ -119,7 +131,9 @@ impl RenameMap {
     /// Creates an empty map (no in-flight producers; all registers read
     /// architectural state).
     pub fn new() -> Self {
-        RenameMap { last_writer: [None; Reg::DENSE_COUNT] }
+        RenameMap {
+            last_writer: [None; Reg::DENSE_COUNT],
+        }
     }
 
     /// The in-flight producer of `reg`, if any.  The zero register never
@@ -173,7 +187,10 @@ mod tests {
         let mut a = RenameAllocator::new(34, 33, 32, 32);
         assert!(a.try_alloc(RegClass::Int));
         assert!(a.try_alloc(RegClass::Int));
-        assert!(!a.try_alloc(RegClass::Int), "only two integer rename registers");
+        assert!(
+            !a.try_alloc(RegClass::Int),
+            "only two integer rename registers"
+        );
         assert!(a.try_alloc(RegClass::Fp));
         assert!(!a.try_alloc(RegClass::Fp));
         a.release(RegClass::Int);

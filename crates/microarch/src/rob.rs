@@ -33,7 +33,13 @@ pub struct RobEntry {
 impl RobEntry {
     /// Creates an entry for a newly dispatched instruction.
     pub fn new(seq: SeqNum, op: OpClass) -> Self {
-        RobEntry { seq, op, completed: false, completion_visible_ps: 0, mispredicted: false }
+        RobEntry {
+            seq,
+            op,
+            completed: false,
+            completion_visible_ps: 0,
+            mispredicted: false,
+        }
     }
 }
 
@@ -54,7 +60,11 @@ impl ReorderBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ROB capacity must be positive");
-        ReorderBuffer { capacity, entries: VecDeque::with_capacity(capacity), peak: 0 }
+        ReorderBuffer {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            peak: 0,
+        }
     }
 
     /// Capacity in entries.
@@ -107,18 +117,35 @@ impl ReorderBuffer {
         self.entries.front()
     }
 
+    /// Index of `seq`, using direct offset arithmetic when the window is
+    /// contiguous (the common case: the simulator dispatches consecutive
+    /// sequence numbers) and a linear scan otherwise.
+    fn position_of(&self, seq: SeqNum) -> Option<usize> {
+        let head = self.entries.front()?.seq;
+        let back = self.entries.back().expect("non-empty").seq;
+        if back - head + 1 == self.entries.len() as u64 {
+            // Contiguous window: O(1) lookup.
+            if seq < head || seq > back {
+                return None;
+            }
+            return Some((seq - head) as usize);
+        }
+        self.entries.iter().position(|e| e.seq == seq)
+    }
+
     /// Marks an instruction as completed, with the given visibility time.
     /// Returns `true` if the instruction was found.
     pub fn mark_completed(&mut self, seq: SeqNum, visible_ps: u64) -> bool {
-        // In-flight windows are small (<= 80), so a linear scan is fine.
-        for e in &mut self.entries {
-            if e.seq == seq {
+        match self.position_of(seq) {
+            Some(pos) => {
+                let e = &mut self.entries[pos];
+                debug_assert_eq!(e.seq, seq);
                 e.completed = true;
                 e.completion_visible_ps = visible_ps;
-                return true;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Marks an instruction as a mispredicted branch.  Returns `true` if
@@ -173,7 +200,10 @@ mod tests {
         assert!(rob.mark_completed(0, 200));
         assert!(rob.mark_completed(1, 300));
         // Retire strictly in order, gated by visibility times.
-        assert!(rob.retire_head(150).is_none(), "seq 0 not visible until 200");
+        assert!(
+            rob.retire_head(150).is_none(),
+            "seq 0 not visible until 200"
+        );
         assert_eq!(rob.retire_head(250).unwrap().seq, 0);
         assert_eq!(rob.retire_head(400).unwrap().seq, 1);
         assert_eq!(rob.retire_head(400).unwrap().seq, 2);

@@ -59,12 +59,23 @@ impl EnergyBreakdown {
 }
 
 /// Running energy accumulator.
+///
+/// The per-structure energy constants are flattened into dense arrays at
+/// construction so that the record methods — called around ten times per
+/// simulated domain cycle — are a multiply-add on an enum-indexed slot
+/// instead of an association-list search.
 #[derive(Debug, Clone)]
 pub struct EnergyAccount {
     params: EnergyParams,
     by_structure: Vec<f64>,
     idle: f64,
     accesses: Vec<u64>,
+    /// Per-access energy at nominal voltage, indexed by [`Structure::index`]
+    /// (0.0 for structures without a per-access cost).
+    access_energy: Vec<f64>,
+    /// Per-cycle clock energy at nominal voltage, same indexing (0.0 for
+    /// non-clock structures).
+    clock_energy: Vec<f64>,
 }
 
 impl EnergyAccount {
@@ -77,11 +88,21 @@ impl EnergyAccount {
         params
             .validate()
             .unwrap_or_else(|e| panic!("invalid energy parameters: {e}"));
+        let mut access_energy = vec![0.0; Structure::ALL.len()];
+        for &(s, e) in &params.access_energy {
+            access_energy[s.index()] = e;
+        }
+        let mut clock_energy = vec![0.0; Structure::ALL.len()];
+        for &(s, e) in &params.clock_energy_per_cycle {
+            clock_energy[s.index()] = e;
+        }
         EnergyAccount {
-            params,
             by_structure: vec![0.0; Structure::ALL.len()],
             idle: 0.0,
             accesses: vec![0; Structure::ALL.len()],
+            access_energy,
+            clock_energy,
+            params,
         }
     }
 
@@ -90,32 +111,26 @@ impl EnergyAccount {
         &self.params
     }
 
-    fn index(s: Structure) -> usize {
-        Structure::ALL
-            .iter()
-            .position(|&x| x == s)
-            .expect("structure is in ALL")
-    }
-
     /// Records `count` accesses to `structure` at the given supply voltage.
+    #[inline]
     pub fn record_access(&mut self, structure: Structure, count: u64, voltage: f64) {
         if count == 0 {
             return;
         }
-        let e = self.params.access_energy(structure)
-            * self.params.voltage_scale(voltage)
-            * count as f64;
-        self.by_structure[Self::index(structure)] += e;
-        self.accesses[Self::index(structure)] += count;
+        let idx = structure.index();
+        let e = self.access_energy[idx] * self.params.voltage_scale(voltage) * count as f64;
+        self.by_structure[idx] += e;
+        self.accesses[idx] += count;
     }
 
     /// Records one idle (clock-gated) cycle of `structure` at the given
     /// voltage: the gating floor fraction of one access energy.
+    #[inline]
     pub fn record_idle_cycle(&mut self, structure: Structure, voltage: f64) {
-        let e = self.params.access_energy(structure)
-            * self.params.gating_floor
-            * self.params.voltage_scale(voltage);
-        self.by_structure[Self::index(structure)] += e;
+        let idx = structure.index();
+        let e =
+            self.access_energy[idx] * self.params.gating_floor * self.params.voltage_scale(voltage);
+        self.by_structure[idx] += e;
         self.idle += e;
     }
 
@@ -123,21 +138,22 @@ impl EnergyAccount {
     /// voltage.  `mcd_overhead` is the extra clock energy fraction of the
     /// MCD design (0.10 in the paper's assumption, 0.0 for the fully
     /// synchronous baseline).
+    #[inline]
     pub fn record_clock_cycle(&mut self, domain: DomainId, voltage: f64, mcd_overhead: f64) {
         let Some(clock) = Structure::clock_of(domain) else {
             return;
         };
-        let e = self.params.clock_energy(clock)
-            * (1.0 + mcd_overhead)
-            * self.params.voltage_scale(voltage);
-        self.by_structure[Self::index(clock)] += e;
+        let idx = clock.index();
+        let e = self.clock_energy[idx] * (1.0 + mcd_overhead) * self.params.voltage_scale(voltage);
+        self.by_structure[idx] += e;
     }
 
     /// Records one main-memory access (fixed energy, not voltage scaled).
+    #[inline]
     pub fn record_memory_access(&mut self) {
-        self.by_structure[Self::index(Structure::MainMemory)] +=
-            self.params.main_memory_access_energy;
-        self.accesses[Self::index(Structure::MainMemory)] += 1;
+        let idx = Structure::MainMemory.index();
+        self.by_structure[idx] += self.params.main_memory_access_energy;
+        self.accesses[idx] += 1;
     }
 
     /// Total energy accumulated so far.
@@ -148,12 +164,12 @@ impl EnergyAccount {
     /// Total energy of the on-chip structures (excludes main memory), which
     /// is the quantity the paper's energy savings refer to.
     pub fn chip_energy(&self) -> f64 {
-        self.total_energy() - self.by_structure[Self::index(Structure::MainMemory)]
+        self.total_energy() - self.by_structure[Structure::MainMemory.index()]
     }
 
     /// Number of accesses recorded for a structure.
     pub fn access_count(&self, structure: Structure) -> u64 {
-        self.accesses[Self::index(structure)]
+        self.accesses[structure.index()]
     }
 
     /// Produces the final breakdown.
@@ -163,8 +179,7 @@ impl EnergyAccount {
             .copied()
             .zip(self.by_structure.iter().copied())
             .collect();
-        let mut by_domain: Vec<(DomainId, f64)> =
-            DomainId::ALL.iter().map(|&d| (d, 0.0)).collect();
+        let mut by_domain: Vec<(DomainId, f64)> = DomainId::ALL.iter().map(|&d| (d, 0.0)).collect();
         for (s, e) in &by_structure {
             let d = s.domain();
             if let Some(slot) = by_domain.iter_mut().find(|(dom, _)| *dom == d) {
@@ -295,8 +310,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid energy parameters")]
     fn invalid_params_panic() {
-        let mut p = EnergyParams::default();
-        p.nominal_voltage = -1.0;
+        let p = EnergyParams {
+            nominal_voltage: -1.0,
+            ..Default::default()
+        };
         let _ = EnergyAccount::new(p);
     }
 }

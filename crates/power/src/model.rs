@@ -187,8 +187,10 @@ mod tests {
 
     #[test]
     fn validation_catches_problems() {
-        let mut p = EnergyParams::default();
-        p.gating_floor = 1.5;
+        let p = EnergyParams {
+            gating_floor: 1.5,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
 
         let mut p = EnergyParams::default();

@@ -80,6 +80,15 @@ impl Structure {
         Structure::MainMemory,
     ];
 
+    /// Dense index of the structure (its position in [`Structure::ALL`]);
+    /// `ALL` lists the variants in declaration order, so the cast is exact.
+    /// Used by the energy account for O(1) table lookups on the simulator's
+    /// hot path.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// The clock domain the structure belongs to (determines which voltage
     /// scales its energy).
     pub fn domain(self) -> DomainId {
@@ -187,6 +196,24 @@ mod tests {
         }
         assert_eq!(Structure::clock_of(DomainId::External), None);
         assert_eq!(Structure::ALL.iter().filter(|s| s.is_clock()).count(), 4);
+    }
+
+    #[test]
+    fn all_lists_variants_in_declaration_order() {
+        // `Structure::index()` is the enum discriminant; the energy
+        // account indexes its dense arrays with it while `breakdown()`
+        // zips them against `ALL` order.  These stay interchangeable only
+        // while `ALL` lists the variants in declaration order — this test
+        // pins that invariant so inserting a variant mid-enum (or
+        // reordering `ALL`) fails loudly instead of silently
+        // misattributing energy.
+        for (position, s) in Structure::ALL.iter().enumerate() {
+            assert_eq!(
+                s.index(),
+                position,
+                "Structure::ALL[{position}] = {s} is out of declaration order"
+            );
+        }
     }
 
     #[test]

@@ -198,7 +198,11 @@ mod tests {
         assert_eq!(a.int_phys_regs, 72);
         assert_eq!(a.fp_phys_regs, 72);
         assert_eq!(a.mispredict_penalty, 7);
-        assert_eq!(a.int_issue_width + a.fp_issue_width, 6, "issue width 6 (4 int + 2 fp)");
+        assert_eq!(
+            a.int_issue_width + a.fp_issue_width,
+            6,
+            "issue width 6 (4 int + 2 fp)"
+        );
         a.validate().unwrap();
     }
 

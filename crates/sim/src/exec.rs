@@ -1,0 +1,179 @@
+//! Execution-domain cycles (integer / floating point) and writeback.
+
+use mcd_clock::{DomainId, TimePs};
+use mcd_isa::SeqNum;
+use mcd_microarch::FuKind;
+use mcd_power::Structure;
+
+use crate::processor::McdProcessor;
+
+impl McdProcessor {
+    pub(crate) fn exec_domain_cycle(&mut self, domain: DomainId, now: TimePs) {
+        debug_assert!(matches!(
+            domain,
+            DomainId::Integer | DomainId::FloatingPoint
+        ));
+        let voltage = self.voltage(domain);
+        let period = self.clock(domain).current_period_ps();
+
+        // ---- Writeback of finished executions ----
+        self.drain_completions(domain, now);
+
+        // ---- Wakeup / select / issue ----
+        let issue_width = if domain == DomainId::Integer {
+            self.config.arch.int_issue_width
+        } else {
+            self.config.arch.fp_issue_width
+        };
+        // Reusable scratch buffer: no per-cycle allocation.
+        let mut candidates = std::mem::take(&mut self.scratch_seqs);
+        if domain == DomainId::Integer {
+            self.int_iq.visible_into(now, &mut candidates);
+        } else {
+            self.fp_iq.visible_into(now, &mut candidates);
+        }
+
+        let mut issued = 0usize;
+        for &seq in &candidates {
+            if issued >= issue_width {
+                break;
+            }
+            if !self.inflight.operands_ready(seq, domain, now) {
+                continue;
+            }
+            let (op, latency_cycles) = {
+                let fl = self
+                    .inflight
+                    .get(seq)
+                    .expect("issue candidate is in flight");
+                (fl.inst.op, fl.inst.op.latency())
+            };
+            let fu_kind = FuKind::for_exec_class(op.exec_class()).unwrap_or(FuKind::IntAlu);
+            // Completion and functional-unit occupancy are scheduled half a
+            // period early so that per-edge jitter can never push the
+            // completing edge past the nominal latency and charge a spurious
+            // extra cycle.
+            let margin = period / 2;
+            let latency_ps = (u64::from(latency_cycles) * period).saturating_sub(margin);
+            let busy_until = if op.pipelined() {
+                now + period - margin
+            } else {
+                now + latency_ps
+            };
+            let fus = if domain == DomainId::Integer {
+                &mut self.int_fus
+            } else {
+                &mut self.fp_fus
+            };
+            if !fus.try_issue(fu_kind, now, busy_until) {
+                continue;
+            }
+            // Issue.
+            if domain == DomainId::Integer {
+                self.int_iq.remove(seq);
+                self.energy
+                    .record_access(Structure::IntIssueQueue, 1, voltage);
+                self.energy.record_access(Structure::IntRegFile, 2, voltage);
+                self.energy.record_access(Structure::IntAlu, 1, voltage);
+            } else {
+                self.fp_iq.remove(seq);
+                self.energy
+                    .record_access(Structure::FpIssueQueue, 1, voltage);
+                self.energy.record_access(Structure::FpRegFile, 2, voltage);
+                self.energy.record_access(Structure::FpAlu, 1, voltage);
+            }
+            if let Some(fl) = self.inflight.get_mut(seq) {
+                fl.issued = true;
+            }
+            self.completions.push(domain, now + latency_ps.max(1), seq);
+            issued += 1;
+        }
+        candidates.clear();
+        self.scratch_seqs = candidates;
+
+        // ---- Occupancy / counters / gating ----
+        let counters = &mut self.domain_counters[domain.index()];
+        counters.cycles += 1;
+        if issued > 0 {
+            counters.busy_cycles += 1;
+        }
+        counters.issued += issued as u64;
+
+        if domain == DomainId::Integer {
+            self.int_iq.accumulate_occupancy();
+            if issued == 0 {
+                self.energy
+                    .record_idle_cycle(Structure::IntIssueQueue, voltage);
+                self.energy.record_idle_cycle(Structure::IntAlu, voltage);
+                self.energy
+                    .record_idle_cycle(Structure::IntRegFile, voltage);
+            }
+        } else {
+            self.fp_iq.accumulate_occupancy();
+            if issued == 0 {
+                self.energy
+                    .record_idle_cycle(Structure::FpIssueQueue, voltage);
+                self.energy.record_idle_cycle(Structure::FpAlu, voltage);
+                self.energy.record_idle_cycle(Structure::FpRegFile, voltage);
+            }
+        }
+        self.energy
+            .record_clock_cycle(domain, voltage, self.mcd_overhead());
+        self.accumulate_freq(domain);
+    }
+
+    /// Applies writeback for every pending completion of `domain` whose
+    /// time has arrived, in deterministic `(time, seq)` order.
+    pub(crate) fn drain_completions(&mut self, domain: DomainId, now: TimePs) {
+        while let Some((t, seq)) = self.completions.pop_due(domain, now) {
+            self.writeback(seq, t.max(now), domain);
+        }
+    }
+
+    pub(crate) fn writeback(&mut self, seq: SeqNum, t: TimePs, domain: DomainId) {
+        let visible = self.visibility_vector(t, domain);
+        let (is_branch, mispredicted, pc, op, prediction, branch_info, is_load) = {
+            let Some(fl) = self.inflight.get_mut(seq) else {
+                return;
+            };
+            fl.completed = true;
+            fl.visible_at = visible;
+            (
+                fl.inst.is_branch(),
+                fl.mispredicted,
+                fl.inst.pc,
+                fl.inst.op,
+                fl.prediction,
+                fl.inst.branch,
+                fl.inst.is_load(),
+            )
+        };
+        // Completion report to the ROB (front-end domain).
+        let fe_visible = visible[DomainId::FrontEnd.index()];
+        self.rob.mark_completed(seq, fe_visible);
+        self.energy
+            .record_access(Structure::ResultBus, 1, self.voltage(DomainId::FrontEnd));
+        if is_load {
+            self.lsq.mark_completed(seq);
+        }
+
+        // Branch resolution: train the predictor and, on a misprediction,
+        // restart fetch after the redirect penalty.
+        if is_branch {
+            if let (Some(pred), Some(actual)) = (prediction, branch_info) {
+                self.predictor
+                    .update(pc, op, pred, actual.taken, actual.target);
+            }
+            if mispredicted {
+                self.mispredict_redirects += 1;
+                let fe_period = self.clock(DomainId::FrontEnd).current_period_ps();
+                let resume =
+                    fe_visible + u64::from(self.config.arch.mispredict_penalty) * fe_period;
+                self.fetch_stalled_until = self.fetch_stalled_until.max(resume);
+                if self.fetch_blocked_by == Some(seq) {
+                    self.fetch_blocked_by = None;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Dense, ROB-indexed storage for in-flight instruction state.
+//!
+//! The simulator tracks one [`InFlight`] record per dispatched-but-not-yet
+//! retired instruction.  Records are created at dispatch (together with the
+//! ROB entry) and destroyed at retire, so at most `rob_size` of them are
+//! ever live, and — because sequence numbers are assigned consecutively in
+//! program order — the live window spans at most `rob_size` consecutive
+//! sequence numbers.  That makes `seq % rob_size` a perfect slot index:
+//! no two live instructions can collide.
+//!
+//! [`InFlightTable`] exploits this to replace the historical
+//! `HashMap<SeqNum, InFlight>` with a flat slab.  Every lookup — and the
+//! hot paths perform several per issue candidate per domain cycle — becomes
+//! one modulo plus one array access, with a *generation check* (the stored
+//! sequence number must equal the queried one) so that queries for retired
+//! producers correctly return `None` instead of aliasing a newer
+//! instruction that reuses the slot after the sequence space wraps past the
+//! table capacity.
+
+use mcd_clock::TimePs;
+use mcd_isa::{DynInst, SeqNum};
+use mcd_microarch::Prediction;
+
+/// Maximum number of register sources of a [`DynInst`].
+const MAX_SOURCES: usize = 3;
+
+/// The producers of an instruction's source operands, inline (the
+/// historical `Vec<SeqNum>` allocated on every dispatch).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Producers {
+    items: [SeqNum; MAX_SOURCES],
+    len: u8,
+}
+
+impl Producers {
+    /// Adds a producer; silently ignores overflow beyond the ISA's source
+    /// limit (cannot happen for valid instructions).
+    pub(crate) fn push(&mut self, seq: SeqNum) {
+        if (self.len as usize) < MAX_SOURCES {
+            self.items[self.len as usize] = seq;
+            self.len += 1;
+        }
+    }
+
+    /// Iterator over the recorded producers.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = SeqNum> + '_ {
+        self.items[..self.len as usize].iter().copied()
+    }
+}
+
+/// Book-keeping for one in-flight instruction.
+#[derive(Debug, Clone)]
+pub(crate) struct InFlight {
+    pub(crate) inst: DynInst,
+    /// Sequence numbers of the producers of this instruction's sources.
+    pub(crate) producers: Producers,
+    /// Whether execution finished.
+    pub(crate) completed: bool,
+    /// Time at which the result is visible in each domain (index =
+    /// `DomainId::index`), valid once `completed`.
+    pub(crate) visible_at: [TimePs; 5],
+    /// Whether the instruction has been issued to a functional unit.
+    pub(crate) issued: bool,
+    /// Fetch-time branch prediction (branches only).
+    pub(crate) prediction: Option<Prediction>,
+    /// Whether the branch was mispredicted (direction or target).
+    pub(crate) mispredicted: bool,
+}
+
+/// Slab of in-flight instructions indexed by `seq % capacity`.
+#[derive(Debug)]
+pub(crate) struct InFlightTable {
+    slots: Box<[Option<InFlight>]>,
+    live: usize,
+}
+
+impl InFlightTable {
+    /// Creates a table able to hold `capacity` (= ROB size) live entries.
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "in-flight capacity must be positive");
+        InFlightTable {
+            slots: vec![None; capacity].into_boxed_slice(),
+            live: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, seq: SeqNum) -> usize {
+        (seq % self.slots.len() as u64) as usize
+    }
+
+    /// Number of live entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no instruction is in flight.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts the record for a newly dispatched instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is still occupied — that would mean more than
+    /// `capacity` instructions are in flight, i.e. the ROB bound was
+    /// violated and slot aliasing would silently corrupt dependence
+    /// tracking.
+    pub(crate) fn insert(&mut self, entry: InFlight) {
+        let seq = entry.inst.seq;
+        let slot = self.slot_of(seq);
+        let prev = self.slots[slot].replace(entry);
+        assert!(
+            prev.is_none(),
+            "in-flight slot collision: seq {} would alias a live instruction",
+            seq
+        );
+        self.live += 1;
+    }
+
+    /// Looks up a live instruction.  Queries for retired (or never
+    /// dispatched) sequence numbers return `None` thanks to the generation
+    /// check, even after the sequence space wraps past the capacity.
+    #[inline]
+    pub(crate) fn get(&self, seq: SeqNum) -> Option<&InFlight> {
+        match &self.slots[self.slot_of(seq)] {
+            Some(e) if e.inst.seq == seq => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Mutable lookup with the same generation check as [`Self::get`].
+    #[inline]
+    pub(crate) fn get_mut(&mut self, seq: SeqNum) -> Option<&mut InFlight> {
+        let slot = self.slot_of(seq);
+        match &mut self.slots[slot] {
+            Some(e) if e.inst.seq == seq => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns an entry (at retire).
+    pub(crate) fn remove(&mut self, seq: SeqNum) -> Option<InFlight> {
+        let slot = self.slot_of(seq);
+        match &self.slots[slot] {
+            Some(e) if e.inst.seq == seq => {
+                self.live -= 1;
+                self.slots[slot].take()
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the producer `seq` has a result visible in `domain` at
+    /// `now`.  Retired producers are always visible (their value lives in
+    /// architectural state).
+    #[inline]
+    pub(crate) fn producer_ready(
+        &self,
+        seq: SeqNum,
+        domain: mcd_clock::DomainId,
+        now: TimePs,
+    ) -> bool {
+        match self.get(seq) {
+            None => true,
+            Some(p) => p.completed && p.visible_at[domain.index()] <= now,
+        }
+    }
+
+    /// Whether every producer of `seq` is visible in `domain` at `now`.
+    #[inline]
+    pub(crate) fn operands_ready(
+        &self,
+        seq: SeqNum,
+        domain: mcd_clock::DomainId,
+        now: TimePs,
+    ) -> bool {
+        let Some(entry) = self.get(seq) else {
+            return false;
+        };
+        entry
+            .producers
+            .iter()
+            .all(|p| self.producer_ready(p, domain, now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_isa::Reg;
+
+    fn entry(seq: SeqNum) -> InFlight {
+        InFlight {
+            inst: DynInst::alu(seq, 0x1000, Reg::int(1), &[Reg::int(2)]),
+            producers: Producers::default(),
+            completed: false,
+            visible_at: [0; 5],
+            issued: false,
+            prediction: None,
+            mispredicted: false,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = InFlightTable::new(8);
+        assert!(t.is_empty());
+        t.insert(entry(3));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(3).unwrap().inst.seq, 3);
+        assert!(t.get_mut(3).is_some());
+        assert!(t.get(4).is_none());
+        let removed = t.remove(3).unwrap();
+        assert_eq!(removed.inst.seq, 3);
+        assert!(t.remove(3).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn wrapped_sequence_numbers_do_not_alias_stale_entries() {
+        // Regression test for the slab generation check: after the
+        // sequence space wraps past the capacity, queries for the *old*
+        // occupant of a slot must return None, not the new one.
+        let capacity = 8u64;
+        let mut t = InFlightTable::new(capacity as usize);
+        t.insert(entry(5));
+        // seq 5 retires; seq 5 + capacity lands in the same slot.
+        t.remove(5).unwrap();
+        t.insert(entry(5 + capacity));
+        assert!(t.get(5).is_none(), "stale seq 5 must not alias seq 13");
+        assert_eq!(t.get(5 + capacity).unwrap().inst.seq, 5 + capacity);
+        // A retired producer reads as ready; the live one does not.
+        assert!(t.producer_ready(5, mcd_clock::DomainId::Integer, 0));
+        assert!(!t.producer_ready(5 + capacity, mcd_clock::DomainId::Integer, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot collision")]
+    fn slot_collision_panics_instead_of_corrupting() {
+        let mut t = InFlightTable::new(4);
+        t.insert(entry(1));
+        t.insert(entry(5)); // 5 % 4 == 1 % 4
+    }
+
+    #[test]
+    fn producers_inline_array_caps_at_isa_limit() {
+        let mut p = Producers::default();
+        for s in 0..5 {
+            p.push(s);
+        }
+        let got: Vec<_> = p.iter().collect();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+}

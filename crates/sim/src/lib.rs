@@ -42,9 +42,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+mod events;
+mod exec;
+mod frontend;
+mod inflight;
+mod lsq;
 pub mod processor;
 pub mod telemetry;
 
 pub use config::{ArchParams, ClockingMode, SimConfig};
 pub use processor::McdProcessor;
-pub use telemetry::{DomainTrace, IntervalRecord, SimResult};
+pub use telemetry::{DomainTrace, HostStats, IntervalRecord, SimResult};

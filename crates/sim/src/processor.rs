@@ -8,11 +8,21 @@
 //! cache-miss traffic to memory) become visible in the destination domain
 //! only at the capture time computed by the [`SyncWindow`] rule, which is
 //! how the MCD synchronization penalties of the paper arise.
+//!
+//! The kernel is split across focused modules:
+//!
+//! * `frontend` — fetch, rename/dispatch, commit (the front-end domain);
+//! * `exec` — the integer/floating-point domains' wakeup-select-issue
+//!   cycle plus writeback;
+//! * `lsq` — the load/store domain's cycle and the cache hierarchy timing;
+//! * `events` — per-domain completion-event min-heaps;
+//! * `inflight` — the dense, ROB-indexed in-flight instruction slab.
+//!
+//! This file owns the processor structure, construction, the control
+//! intervals and the main event loop.
 
-use std::collections::HashMap;
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::time::Instant;
 
 use mcd_clock::{
     DomainClock, DomainId, MegaHertz, OperatingPointTable, SyncWindow, TimePs, CONTROLLABLE_DOMAINS,
@@ -20,109 +30,94 @@ use mcd_clock::{
 use mcd_control::{DomainSample, FrequencyController, IntervalSample, OfflineProfile};
 use mcd_isa::{DynInst, ExecClass, InstructionStream, OpClass, SeqNum};
 use mcd_microarch::{
-    BranchPredictor, Cache, FuKind, FuPool, FuPoolConfig, IssueQueue, LoadStoreQueue, LsqIssue,
-    Prediction, RenameAllocator, RenameMap, ReorderBuffer, RobEntry,
+    BranchPredictor, Cache, FuPool, FuPoolConfig, IssueQueue, LoadStoreQueue, Prediction,
+    RenameAllocator, RenameMap, ReorderBuffer,
 };
-use mcd_power::{EnergyAccount, Structure};
+use mcd_power::EnergyAccount;
 
 use crate::config::{ClockingMode, SimConfig};
-use crate::telemetry::{DomainTrace, IntervalRecord, SimResult};
+use crate::events::CompletionQueues;
+use crate::inflight::InFlightTable;
+use crate::telemetry::{DomainTrace, HostStats, IntervalRecord, SimResult};
 
 /// Abort the run if no instruction commits for this much simulated time
 /// (catches simulator bugs rather than real behaviour: even a chain of
 /// serialized main-memory misses commits every ~100 ns).
 const COMMIT_WATCHDOG_PS: TimePs = 200_000_000;
 
-/// Book-keeping for one in-flight instruction.
-#[derive(Debug, Clone)]
-struct InFlight {
-    inst: DynInst,
-    /// Sequence numbers of the producers of this instruction's sources.
-    producers: Vec<SeqNum>,
-    /// Whether execution finished.
-    completed: bool,
-    /// Time at which the result is visible in each domain (index =
-    /// `DomainId::index`), valid once `completed`.
-    visible_at: [TimePs; 5],
-    /// Whether the instruction has been issued to a functional unit.
-    issued: bool,
-    /// Fetch-time branch prediction (branches only).
-    prediction: Option<Prediction>,
-    /// Whether the branch was mispredicted (direction or target).
-    mispredicted: bool,
-}
-
 /// Per-domain interval counters feeding the controller.
 #[derive(Debug, Clone, Copy, Default)]
-struct DomainIntervalCounters {
-    cycles: u64,
-    busy_cycles: u64,
-    issued: u64,
-    cycles_at_interval_start: u64,
+pub(crate) struct DomainIntervalCounters {
+    pub(crate) cycles: u64,
+    pub(crate) busy_cycles: u64,
+    pub(crate) issued: u64,
+    pub(crate) cycles_at_interval_start: u64,
 }
 
 /// Per-domain cycle-weighted frequency accumulator (for reports).
 #[derive(Debug, Clone, Copy, Default)]
-struct FreqAccumulator {
-    weighted_sum: f64,
-    cycles: u64,
+pub(crate) struct FreqAccumulator {
+    pub(crate) weighted_sum: f64,
+    pub(crate) cycles: u64,
 }
 
 /// The simulated MCD processor.
 pub struct McdProcessor {
-    config: SimConfig,
-    table: OperatingPointTable,
-    controller: Box<dyn FrequencyController>,
+    pub(crate) config: SimConfig,
+    pub(crate) table: OperatingPointTable,
+    pub(crate) controller: Box<dyn FrequencyController>,
 
     // Clocking.
-    clocks: Vec<DomainClock>,
-    sync: SyncWindow,
+    pub(crate) clocks: Vec<DomainClock>,
+    pub(crate) sync: SyncWindow,
 
     // Front end.
-    predictor: BranchPredictor,
-    l1i: Cache,
-    rename_alloc: RenameAllocator,
-    rename_map: RenameMap,
-    rob: ReorderBuffer,
-    fetch_buffer: std::collections::VecDeque<DynInst>,
-    fetch_stalled_until: TimePs,
-    fetch_blocked_by: Option<SeqNum>,
-    stream_done: bool,
+    pub(crate) predictor: BranchPredictor,
+    pub(crate) l1i: Cache,
+    pub(crate) rename_alloc: RenameAllocator,
+    pub(crate) rename_map: RenameMap,
+    pub(crate) rob: ReorderBuffer,
+    pub(crate) fetch_buffer: VecDeque<DynInst>,
+    pub(crate) fetch_stalled_until: TimePs,
+    pub(crate) fetch_blocked_by: Option<SeqNum>,
+    pub(crate) stream_done: bool,
 
     // Execution domains.
-    int_iq: IssueQueue,
-    fp_iq: IssueQueue,
-    lsq: LoadStoreQueue,
-    int_fus: FuPool,
-    fp_fus: FuPool,
-    mem_fus: FuPool,
-    l1d: Cache,
-    l2: Cache,
-    /// Pending completions per domain: (completion time, seq).
-    pending_completions: Vec<Vec<(TimePs, SeqNum)>>,
+    pub(crate) int_iq: IssueQueue,
+    pub(crate) fp_iq: IssueQueue,
+    pub(crate) lsq: LoadStoreQueue,
+    pub(crate) int_fus: FuPool,
+    pub(crate) fp_fus: FuPool,
+    pub(crate) mem_fus: FuPool,
+    pub(crate) l1d: Cache,
+    pub(crate) l2: Cache,
+    /// Pending completion events, one min-heap per domain.
+    pub(crate) completions: CompletionQueues,
 
-    // In-flight instruction table.
-    inflight: HashMap<SeqNum, InFlight>,
-    /// Predictions made at fetch time, consumed at dispatch.
-    pending_predictions: HashMap<SeqNum, Prediction>,
+    // In-flight instruction table (dense ROB-indexed slab).
+    pub(crate) inflight: InFlightTable,
+    /// Predictions made at fetch time, consumed in program order at
+    /// dispatch.
+    pub(crate) pending_predictions: VecDeque<(SeqNum, Prediction)>,
+    /// Reusable per-cycle scratch buffer (issue candidates, LSQ scans);
+    /// owned by the processor so the hot loops never allocate.
+    pub(crate) scratch_seqs: Vec<SeqNum>,
 
     // Energy.
-    energy: EnergyAccount,
+    pub(crate) energy: EnergyAccount,
 
     // Statistics.
-    committed: u64,
-    mispredict_redirects: u64,
-    memory_accesses: u64,
-    interval_index: u64,
-    frontend_cycles_at_interval_start: u64,
-    domain_counters: [DomainIntervalCounters; 5],
-    freq_acc: [FreqAccumulator; 5],
-    first_commit_ps: Option<TimePs>,
-    last_commit_ps: TimePs,
-    intervals: Vec<IntervalRecord>,
-    profile: OfflineProfile,
-    #[allow(dead_code)]
-    rng: StdRng,
+    pub(crate) committed: u64,
+    pub(crate) mispredict_redirects: u64,
+    pub(crate) memory_accesses: u64,
+    pub(crate) interval_index: u64,
+    pub(crate) frontend_cycles_at_interval_start: u64,
+    pub(crate) domain_counters: [DomainIntervalCounters; 5],
+    pub(crate) freq_acc: [FreqAccumulator; 5],
+    pub(crate) first_commit_ps: Option<TimePs>,
+    pub(crate) last_commit_ps: TimePs,
+    pub(crate) intervals: Vec<IntervalRecord>,
+    pub(crate) profile: OfflineProfile,
 }
 
 impl McdProcessor {
@@ -162,13 +157,21 @@ impl McdProcessor {
                     d,
                     initial,
                     config.clock.freq_change_rate_ns_per_mhz,
-                    if synchronous { 0.0 } else { config.clock.jitter_sigma_ps },
+                    if synchronous {
+                        0.0
+                    } else {
+                        config.clock.jitter_sigma_ps
+                    },
                     seed,
                 )
             })
             .collect();
 
-        let sync = SyncWindow::new(if synchronous { 0 } else { config.clock.sync_window_ps });
+        let sync = SyncWindow::new(if synchronous {
+            0
+        } else {
+            config.clock.sync_window_ps
+        });
 
         McdProcessor {
             predictor: BranchPredictor::new(config.arch.branch_predictor.clone()),
@@ -183,7 +186,7 @@ impl McdProcessor {
             ),
             rename_map: RenameMap::new(),
             rob: ReorderBuffer::new(config.arch.rob_size),
-            fetch_buffer: std::collections::VecDeque::with_capacity(config.arch.fetch_buffer_size),
+            fetch_buffer: VecDeque::with_capacity(config.arch.fetch_buffer_size),
             fetch_stalled_until: 0,
             fetch_blocked_by: None,
             stream_done: false,
@@ -193,9 +196,10 @@ impl McdProcessor {
             int_fus: FuPool::new(FuPoolConfig::integer_domain()),
             fp_fus: FuPool::new(FuPoolConfig::fp_domain()),
             mem_fus: FuPool::new(FuPoolConfig::loadstore_domain()),
-            pending_completions: vec![Vec::new(); 5],
-            inflight: HashMap::new(),
-            pending_predictions: HashMap::new(),
+            completions: CompletionQueues::new(),
+            inflight: InFlightTable::new(config.arch.rob_size),
+            pending_predictions: VecDeque::with_capacity(config.arch.fetch_buffer_size),
+            scratch_seqs: Vec::with_capacity(config.arch.lsq_size.max(config.arch.rob_size)),
             energy: EnergyAccount::new(config.energy.clone()),
             committed: 0,
             mispredict_redirects: 0,
@@ -208,7 +212,6 @@ impl McdProcessor {
             last_commit_ps: 0,
             intervals: Vec::new(),
             profile: OfflineProfile::new(),
-            rng: StdRng::seed_from_u64(config.seed ^ 0x5eed),
             clocks,
             sync,
             table,
@@ -246,18 +249,19 @@ impl McdProcessor {
         }
     }
 
-    fn clock(&self, d: DomainId) -> &DomainClock {
+    pub(crate) fn clock(&self, d: DomainId) -> &DomainClock {
         &self.clocks[d.index()]
     }
 
-    fn voltage(&self, d: DomainId) -> f64 {
+    pub(crate) fn voltage(&self, d: DomainId) -> f64 {
         if d == DomainId::External {
             return self.config.clock.max_voltage;
         }
-        self.table.voltage_for_freq(self.clocks[d.index()].current_freq_mhz())
+        self.table
+            .voltage_for_freq(self.clocks[d.index()].current_freq_mhz())
     }
 
-    fn mcd_overhead(&self) -> f64 {
+    pub(crate) fn mcd_overhead(&self) -> f64 {
         match self.config.clocking {
             ClockingMode::Mcd => self.config.clock.mcd_clock_energy_overhead,
             ClockingMode::FullySynchronous => 0.0,
@@ -266,17 +270,18 @@ impl McdProcessor {
 
     /// Time at which a value produced at `t` in `from` becomes visible in
     /// `to`.
-    fn cross_domain_visible(&self, t: TimePs, from: DomainId, to: DomainId) -> TimePs {
+    pub(crate) fn cross_domain_visible(&self, t: TimePs, from: DomainId, to: DomainId) -> TimePs {
         if from == to {
             return t;
         }
         let dst = self.clock(to);
-        self.sync.capture_time(t, dst.next_edge_ps(), dst.current_period_ps())
+        self.sync
+            .capture_time(t, dst.next_edge_ps(), dst.current_period_ps())
     }
 
     /// Fills the per-domain visibility vector for a result produced at `t`
     /// in `from`.
-    fn visibility_vector(&self, t: TimePs, from: DomainId) -> [TimePs; 5] {
+    pub(crate) fn visibility_vector(&self, t: TimePs, from: DomainId) -> [TimePs; 5] {
         let mut v = [t; 5];
         for d in DomainId::ALL {
             v[d.index()] = self.cross_domain_visible(t, from, d);
@@ -284,27 +289,7 @@ impl McdProcessor {
         v
     }
 
-    /// Whether the producer `seq` has a result visible in `domain` at
-    /// `now`.  Retired producers are always visible (their value lives in
-    /// architectural state).
-    fn producer_ready(&self, seq: SeqNum, domain: DomainId, now: TimePs) -> bool {
-        match self.inflight.get(&seq) {
-            None => true,
-            Some(p) => p.completed && p.visible_at[domain.index()] <= now,
-        }
-    }
-
-    fn operands_ready(&self, seq: SeqNum, domain: DomainId, now: TimePs) -> bool {
-        let Some(entry) = self.inflight.get(&seq) else {
-            return false;
-        };
-        entry
-            .producers
-            .iter()
-            .all(|&p| self.producer_ready(p, domain, now))
-    }
-
-    fn exec_domain_of(op: OpClass) -> DomainId {
+    pub(crate) fn exec_domain_of(op: OpClass) -> DomainId {
         match op.exec_class() {
             ExecClass::IntAlu | ExecClass::IntMultDiv | ExecClass::Branch => DomainId::Integer,
             ExecClass::FpAlu | ExecClass::FpMultDiv => DomainId::FloatingPoint,
@@ -313,566 +298,18 @@ impl McdProcessor {
         }
     }
 
-    // ----------------------------------------------------------------
-    // Front-end cycle.
-    // ----------------------------------------------------------------
-
-    fn frontend_cycle(&mut self, now: TimePs, stream: &mut dyn InstructionStream) {
-        let voltage = self.voltage(DomainId::FrontEnd);
-        let mut accessed_bpred = false;
-        let mut accessed_icache = false;
-        let mut accessed_rename = false;
-        let mut accessed_rob = false;
-
-        // ---- Commit ----
-        let mut retired = 0;
-        while retired < self.config.arch.retire_width
-            && self.committed < self.config.max_instructions
-        {
-            let Some(entry) = self.rob.retire_head(now) else { break };
-            accessed_rob = true;
-            self.energy.record_access(Structure::Rob, 1, voltage);
-            self.retire(entry, now, voltage);
-            retired += 1;
-            if self.committed % self.config.interval_instructions == 0 {
-                self.end_interval(now);
-            }
-            if self.committed >= self.config.max_instructions {
-                break;
-            }
-        }
-
-        // ---- Fetch ----
-        let can_fetch = now >= self.fetch_stalled_until
-            && self.fetch_blocked_by.is_none()
-            && !self.stream_done;
-        if can_fetch {
-            let mut fetched = 0;
-            while fetched < self.config.arch.decode_width
-                && self.fetch_buffer.len() < self.config.arch.fetch_buffer_size
-            {
-                let Some(inst) = stream.next_inst() else {
-                    self.stream_done = true;
-                    break;
-                };
-                accessed_icache = true;
-                let icache_hit = self.l1i.access(inst.pc, false);
-                self.energy.record_access(Structure::L1ICache, 1, voltage);
-                if !icache_hit {
-                    // Instruction fetch miss: probe the L2 and stall fetch for
-                    // the refill latency (misses to memory are rare for the
-                    // synthetic code footprints, which fit in the L2).
-                    let l2_hit = self.l2.access(inst.pc, false);
-                    self.energy
-                        .record_access(Structure::L2Cache, 1, self.voltage(DomainId::LoadStore));
-                    let period = self.clock(DomainId::FrontEnd).current_period_ps();
-                    let l2_lat = u64::from(self.config.arch.l2.latency_cycles) * period;
-                    let stall = if l2_hit {
-                        l2_lat
-                    } else {
-                        self.memory_accesses += 1;
-                        self.energy.record_memory_access();
-                        l2_lat + self.config.clock.main_memory_latency_ps()
-                    };
-                    self.fetch_stalled_until = now + stall;
-                }
-
-                let mut fetched_inst = inst;
-                if inst.op.is_branch() {
-                    accessed_bpred = true;
-                    self.energy.record_access(Structure::BranchPredictor, 1, voltage);
-                    let pred = self.predictor.predict(inst.pc, inst.op);
-                    // Record prediction; resolution happens at execute.
-                    fetched_inst = inst;
-                    self.fetch_buffer.push_back(fetched_inst);
-                    // Stash the prediction by pre-creating the in-flight
-                    // record at dispatch time; store it temporarily in a side
-                    // map keyed by seq.
-                    self.pending_predictions.insert(inst.seq, pred);
-                    fetched += 1;
-                    // Determine whether this prediction will turn out wrong;
-                    // if so we cannot fetch past it (the front end would be
-                    // fetching the wrong path).
-                    let actual = inst.branch.expect("branch has branch info");
-                    let wrong_direction = pred.taken != actual.taken;
-                    let wrong_target = actual.taken && pred.target != Some(actual.target);
-                    if wrong_direction || wrong_target {
-                        self.fetch_blocked_by = Some(inst.seq);
-                        break;
-                    }
-                    continue;
-                }
-                self.fetch_buffer.push_back(fetched_inst);
-                fetched += 1;
-                if !icache_hit {
-                    // Miss: stop fetching this cycle.
-                    break;
-                }
-            }
-        }
-
-        // ---- Rename / dispatch ----
-        let mut dispatched = 0;
-        while dispatched < self.config.arch.decode_width {
-            let Some(&inst) = self.fetch_buffer.front() else { break };
-            if self.rob.is_full() {
-                break;
-            }
-            // Structural resources in the target domain.
-            let target_domain = Self::exec_domain_of(inst.op);
-            let queue_ok = match target_domain {
-                DomainId::Integer => !self.int_iq.is_full(),
-                DomainId::FloatingPoint => !self.fp_iq.is_full(),
-                DomainId::LoadStore => !self.lsq.is_full(),
-                _ => true,
-            };
-            if !queue_ok {
-                break;
-            }
-            // Physical register for the destination.
-            if let Some(dst) = inst.dst {
-                if !dst.is_zero() && !self.rename_alloc.try_alloc(dst.class()) {
-                    break;
-                }
-            }
-
-            self.fetch_buffer.pop_front();
-            accessed_rename = true;
-            accessed_rob = true;
-            self.energy.record_access(Structure::Rename, 1, voltage);
-            self.energy.record_access(Structure::Rob, 1, voltage);
-
-            // Rename: record producers, then claim the destination.
-            let producers: Vec<SeqNum> = inst
-                .sources()
-                .filter_map(|r| self.rename_map.producer(r))
-                .collect();
-            if let Some(dst) = inst.dst {
-                self.rename_map.set_producer(dst, inst.seq);
-            }
-
-            // Dispatch into the target domain's queue, paying the
-            // synchronization crossing.
-            let visible_at = self.cross_domain_visible(now, DomainId::FrontEnd, target_domain);
-            let prediction = self.pending_predictions.remove(&inst.seq);
-            let mut rob_entry = RobEntry::new(inst.seq, inst.op);
-
-            match target_domain {
-                DomainId::Integer if inst.op != OpClass::Nop => {
-                    self.int_iq
-                        .insert(inst.seq, visible_at)
-                        .expect("checked not full");
-                    self.energy
-                        .record_access(Structure::IntIssueQueue, 1, self.voltage(DomainId::Integer));
-                }
-                DomainId::FloatingPoint => {
-                    self.fp_iq
-                        .insert(inst.seq, visible_at)
-                        .expect("checked not full");
-                    self.energy.record_access(
-                        Structure::FpIssueQueue,
-                        1,
-                        self.voltage(DomainId::FloatingPoint),
-                    );
-                }
-                DomainId::LoadStore => {
-                    let mem = inst.mem.expect("memory op has address");
-                    self.lsq
-                        .insert(inst.seq, inst.is_store(), mem, visible_at)
-                        .expect("checked not full");
-                    self.energy
-                        .record_access(Structure::Lsq, 1, self.voltage(DomainId::LoadStore));
-                }
-                _ => {}
-            }
-
-            // Determine misprediction state for branches.
-            let mut mispredicted = false;
-            if let (Some(pred), Some(actual)) = (prediction, inst.branch) {
-                let wrong_direction = pred.taken != actual.taken;
-                let wrong_target = actual.taken && pred.target != Some(actual.target);
-                mispredicted = wrong_direction || wrong_target;
-                if mispredicted {
-                    rob_entry.mispredicted = true;
-                }
-            }
-
-            let mut entry = InFlight {
-                inst,
-                producers,
-                completed: false,
-                visible_at: [0; 5],
-                issued: false,
-                prediction,
-                mispredicted,
-            };
-
-            // NOPs complete instantly.
-            if inst.op == OpClass::Nop {
-                entry.completed = true;
-                entry.visible_at = [now; 5];
-                rob_entry.completed = true;
-                rob_entry.completion_visible_ps = now;
-            }
-
-            self.rob.push(rob_entry).expect("checked not full");
-            self.inflight.insert(inst.seq, entry);
-            dispatched += 1;
-        }
-
-        // ---- Occupancy and gating ----
-        self.domain_counters[DomainId::FrontEnd.index()].cycles += 1;
-        if dispatched > 0 || retired > 0 {
-            self.domain_counters[DomainId::FrontEnd.index()].busy_cycles += 1;
-        }
-        self.domain_counters[DomainId::FrontEnd.index()].issued += dispatched as u64;
-
-        for (used, s) in [
-            (accessed_bpred, Structure::BranchPredictor),
-            (accessed_icache, Structure::L1ICache),
-            (accessed_rename, Structure::Rename),
-            (accessed_rob, Structure::Rob),
-        ] {
-            if !used {
-                self.energy.record_idle_cycle(s, voltage);
-            }
-        }
-        self.energy
-            .record_clock_cycle(DomainId::FrontEnd, voltage, self.mcd_overhead());
-        let fa = &mut self.freq_acc[DomainId::FrontEnd.index()];
-        fa.weighted_sum += self.clocks[DomainId::FrontEnd.index()].current_freq_mhz();
-        fa.cycles += 1;
-    }
-
-    fn retire(&mut self, entry: RobEntry, now: TimePs, fe_voltage: f64) {
-        self.committed += 1;
-        if self.first_commit_ps.is_none() {
-            self.first_commit_ps = Some(now);
-        }
-        self.last_commit_ps = now;
-
-        let inflight = self.inflight.remove(&entry.seq);
-        if let Some(fl) = &inflight {
-            // Free rename resources.
-            if let Some(dst) = fl.inst.dst {
-                if !dst.is_zero() {
-                    self.rename_alloc.release(dst.class());
-                    self.rename_map.clear_if_producer(dst, entry.seq);
-                }
-            }
-            // Stores write the data cache at commit.
-            if fl.inst.is_store() {
-                if let Some(mem) = fl.inst.mem {
-                    let ls_voltage = self.voltage(DomainId::LoadStore);
-                    let hit = self.l1d.access(mem.addr, true);
-                    self.energy.record_access(Structure::L1DCache, 1, ls_voltage);
-                    if !hit {
-                        let l2_hit = self.l2.access(mem.addr, true);
-                        self.energy.record_access(Structure::L2Cache, 1, ls_voltage);
-                        if !l2_hit {
-                            self.memory_accesses += 1;
-                            self.energy.record_memory_access();
-                        }
-                    }
-                }
-            }
-            // Memory operations leave the LSQ at retire.
-            if fl.inst.is_mem() {
-                self.lsq.remove(entry.seq);
-            }
-        }
-        let _ = fe_voltage;
-    }
-
-    // ----------------------------------------------------------------
-    // Execution-domain cycles (integer / floating point).
-    // ----------------------------------------------------------------
-
-    fn exec_domain_cycle(&mut self, domain: DomainId, now: TimePs) {
-        debug_assert!(matches!(domain, DomainId::Integer | DomainId::FloatingPoint));
-        let voltage = self.voltage(domain);
-        let period = self.clock(domain).current_period_ps();
-
-        // ---- Writeback of finished executions ----
-        self.drain_completions(domain, now);
-
-        // ---- Wakeup / select / issue ----
-        let issue_width = if domain == DomainId::Integer {
-            self.config.arch.int_issue_width
-        } else {
-            self.config.arch.fp_issue_width
-        };
-        let candidates: Vec<SeqNum> = if domain == DomainId::Integer {
-            self.int_iq.visible_entries(now).collect()
-        } else {
-            self.fp_iq.visible_entries(now).collect()
-        };
-
-        let mut issued = 0usize;
-        for seq in candidates {
-            if issued >= issue_width {
-                break;
-            }
-            if !self.operands_ready(seq, domain, now) {
-                continue;
-            }
-            let (op, latency_cycles) = {
-                let fl = &self.inflight[&seq];
-                (fl.inst.op, fl.inst.op.latency())
-            };
-            let fu_kind = FuKind::for_exec_class(op.exec_class()).unwrap_or(FuKind::IntAlu);
-            // Completion and functional-unit occupancy are scheduled half a
-            // period early so that per-edge jitter can never push the
-            // completing edge past the nominal latency and charge a spurious
-            // extra cycle.
-            let margin = period / 2;
-            let latency_ps = (u64::from(latency_cycles) * period).saturating_sub(margin);
-            let busy_until = if op.pipelined() {
-                now + period - margin
-            } else {
-                now + latency_ps
-            };
-            let fus = if domain == DomainId::Integer { &mut self.int_fus } else { &mut self.fp_fus };
-            if !fus.try_issue(fu_kind, now, busy_until) {
-                continue;
-            }
-            // Issue.
-            if domain == DomainId::Integer {
-                self.int_iq.remove(seq);
-                self.energy.record_access(Structure::IntIssueQueue, 1, voltage);
-                self.energy.record_access(Structure::IntRegFile, 2, voltage);
-                self.energy.record_access(Structure::IntAlu, 1, voltage);
-            } else {
-                self.fp_iq.remove(seq);
-                self.energy.record_access(Structure::FpIssueQueue, 1, voltage);
-                self.energy.record_access(Structure::FpRegFile, 2, voltage);
-                self.energy.record_access(Structure::FpAlu, 1, voltage);
-            }
-            if let Some(fl) = self.inflight.get_mut(&seq) {
-                fl.issued = true;
-            }
-            self.pending_completions[domain.index()].push((now + latency_ps.max(1), seq));
-            issued += 1;
-        }
-
-        // ---- Occupancy / counters / gating ----
-        let counters = &mut self.domain_counters[domain.index()];
-        counters.cycles += 1;
-        if issued > 0 {
-            counters.busy_cycles += 1;
-        }
-        counters.issued += issued as u64;
-
-        if domain == DomainId::Integer {
-            self.int_iq.accumulate_occupancy();
-            if issued == 0 {
-                self.energy.record_idle_cycle(Structure::IntIssueQueue, voltage);
-                self.energy.record_idle_cycle(Structure::IntAlu, voltage);
-                self.energy.record_idle_cycle(Structure::IntRegFile, voltage);
-            }
-        } else {
-            self.fp_iq.accumulate_occupancy();
-            if issued == 0 {
-                self.energy.record_idle_cycle(Structure::FpIssueQueue, voltage);
-                self.energy.record_idle_cycle(Structure::FpAlu, voltage);
-                self.energy.record_idle_cycle(Structure::FpRegFile, voltage);
-            }
-        }
-        self.energy.record_clock_cycle(domain, voltage, self.mcd_overhead());
+    /// Per-cycle frequency bookkeeping shared by all domain cycles.
+    pub(crate) fn accumulate_freq(&mut self, domain: DomainId) {
         let fa = &mut self.freq_acc[domain.index()];
         fa.weighted_sum += self.clocks[domain.index()].current_freq_mhz();
         fa.cycles += 1;
-    }
-
-    // ----------------------------------------------------------------
-    // Load/store-domain cycle.
-    // ----------------------------------------------------------------
-
-    fn loadstore_cycle(&mut self, now: TimePs) {
-        let domain = DomainId::LoadStore;
-        let voltage = self.voltage(domain);
-        let period = self.clock(domain).current_period_ps();
-
-        // ---- Writeback of finished memory operations ----
-        self.drain_completions(domain, now);
-
-        // ---- Address-readiness update ----
-        let lsq_seqs: Vec<SeqNum> = self.lsq.iter().map(|e| e.seq).collect();
-        for seq in lsq_seqs {
-            let ready = {
-                let Some(e) = self.lsq.get(seq) else { continue };
-                if e.operands_ready {
-                    continue;
-                }
-                self.operands_ready(seq, domain, now)
-            };
-            if ready {
-                self.lsq.set_operands_ready(seq);
-            }
-        }
-
-        // ---- Issue memory operations ----
-        let candidates = self.lsq.issue_candidates(now);
-        let mut issued = 0usize;
-        for seq in candidates {
-            if issued >= self.config.arch.mem_issue_width {
-                break;
-            }
-            let Some(entry) = self.lsq.get(seq).copied() else { continue };
-            // Half-period scheduling margin (see `exec_domain_cycle`).
-            let margin = period / 2;
-            let one_cycle = now + period - margin;
-            let completion = if entry.is_store {
-                // Stores complete (for the ROB) once their address and data
-                // are known; the cache write happens at commit.
-                Some(one_cycle)
-            } else {
-                match self.lsq.load_issue_decision(seq) {
-                    LsqIssue::Blocked => None,
-                    LsqIssue::Forward(_) => {
-                        if self.mem_fus.try_issue(FuKind::MemPort, now, one_cycle) {
-                            self.energy.record_access(Structure::Lsq, 1, voltage);
-                            Some(one_cycle)
-                        } else {
-                            None
-                        }
-                    }
-                    LsqIssue::AccessCache => {
-                        if self.mem_fus.try_issue(FuKind::MemPort, now, one_cycle) {
-                            self.energy.record_access(Structure::Lsq, 1, voltage);
-                            Some(self.data_access_latency(entry.mem.addr, now, period, voltage))
-                        } else {
-                            None
-                        }
-                    }
-                }
-            };
-            if let Some(done_at) = completion {
-                self.lsq.mark_issued(seq);
-                if let Some(fl) = self.inflight.get_mut(&seq) {
-                    fl.issued = true;
-                }
-                self.pending_completions[domain.index()].push((done_at, seq));
-                issued += 1;
-            }
-        }
-
-        // ---- Occupancy / counters / gating ----
-        let counters = &mut self.domain_counters[domain.index()];
-        counters.cycles += 1;
-        if issued > 0 {
-            counters.busy_cycles += 1;
-        }
-        counters.issued += issued as u64;
-        self.lsq.accumulate_occupancy();
-        if issued == 0 {
-            self.energy.record_idle_cycle(Structure::Lsq, voltage);
-            self.energy.record_idle_cycle(Structure::L1DCache, voltage);
-        }
-        self.energy.record_clock_cycle(domain, voltage, self.mcd_overhead());
-        let fa = &mut self.freq_acc[domain.index()];
-        fa.weighted_sum += self.clocks[domain.index()].current_freq_mhz();
-        fa.cycles += 1;
-    }
-
-    /// Computes the completion time of a load that accesses the cache
-    /// hierarchy, charging the corresponding energies.
-    fn data_access_latency(&mut self, addr: u64, now: TimePs, period: TimePs, voltage: f64) -> TimePs {
-        // Half-period scheduling margin (see `exec_domain_cycle`).
-        let margin = period / 2;
-        let l1_hit = self.l1d.access(addr, false);
-        self.energy.record_access(Structure::L1DCache, 1, voltage);
-        let l1_lat = u64::from(self.config.arch.l1d.latency_cycles) * period;
-        if l1_hit {
-            return now + l1_lat - margin;
-        }
-        let l2_hit = self.l2.access(addr, false);
-        self.energy.record_access(Structure::L2Cache, 1, voltage);
-        let l2_lat = u64::from(self.config.arch.l2.latency_cycles) * period;
-        if l2_hit {
-            return now + l1_lat + l2_lat - margin;
-        }
-        // Miss to main memory: fixed access time plus a synchronization
-        // crossing into and out of the external domain.
-        self.memory_accesses += 1;
-        self.energy.record_memory_access();
-        let to_mem = self.cross_domain_visible(now + l1_lat + l2_lat, DomainId::LoadStore, DomainId::External);
-        let mem_done = to_mem + self.config.clock.main_memory_latency_ps();
-        let back = self.cross_domain_visible(mem_done, DomainId::External, DomainId::LoadStore);
-        back + period - margin
-    }
-
-    /// Applies writeback for every pending completion of `domain` whose
-    /// time has arrived.
-    fn drain_completions(&mut self, domain: DomainId, now: TimePs) {
-        let pending = &mut self.pending_completions[domain.index()];
-        let mut done: Vec<(TimePs, SeqNum)> = Vec::new();
-        pending.retain(|&(t, seq)| {
-            if t <= now {
-                done.push((t, seq));
-                false
-            } else {
-                true
-            }
-        });
-        done.sort_unstable();
-        for (t, seq) in done {
-            self.writeback(seq, t.max(now), domain);
-        }
-    }
-
-    fn writeback(&mut self, seq: SeqNum, t: TimePs, domain: DomainId) {
-        let visible = self.visibility_vector(t, domain);
-        let (is_branch, mispredicted, pc, op, prediction, branch_info, is_load) = {
-            let Some(fl) = self.inflight.get_mut(&seq) else { return };
-            fl.completed = true;
-            fl.visible_at = visible;
-            (
-                fl.inst.is_branch(),
-                fl.mispredicted,
-                fl.inst.pc,
-                fl.inst.op,
-                fl.prediction,
-                fl.inst.branch,
-                fl.inst.is_load(),
-            )
-        };
-        // Completion report to the ROB (front-end domain).
-        let fe_visible = visible[DomainId::FrontEnd.index()];
-        self.rob.mark_completed(seq, fe_visible);
-        self.energy.record_access(
-            Structure::ResultBus,
-            1,
-            self.voltage(DomainId::FrontEnd),
-        );
-        if is_load {
-            self.lsq.mark_completed(seq);
-        }
-
-        // Branch resolution: train the predictor and, on a misprediction,
-        // restart fetch after the redirect penalty.
-        if is_branch {
-            if let (Some(pred), Some(actual)) = (prediction, branch_info) {
-                self.predictor.update(pc, op, pred, actual.taken, actual.target);
-            }
-            if mispredicted {
-                self.mispredict_redirects += 1;
-                let fe_period = self.clock(DomainId::FrontEnd).current_period_ps();
-                let resume =
-                    fe_visible + u64::from(self.config.arch.mispredict_penalty) * fe_period;
-                self.fetch_stalled_until = self.fetch_stalled_until.max(resume);
-                if self.fetch_blocked_by == Some(seq) {
-                    self.fetch_blocked_by = None;
-                }
-            }
-        }
     }
 
     // ----------------------------------------------------------------
     // Control intervals.
     // ----------------------------------------------------------------
 
-    fn end_interval(&mut self, now: TimePs) {
+    pub(crate) fn end_interval(&mut self) {
         let fe_cycles_total = self.clocks[DomainId::FrontEnd.index()].cycles();
         let frontend_cycles = fe_cycles_total - self.frontend_cycles_at_interval_start;
         self.frontend_cycles_at_interval_start = fe_cycles_total;
@@ -943,7 +380,6 @@ impl McdProcessor {
             });
         }
         self.interval_index += 1;
-        let _ = now;
     }
 
     // ----------------------------------------------------------------
@@ -959,7 +395,13 @@ impl McdProcessor {
     /// Panics if the simulation makes no forward progress for an extended
     /// period (an internal invariant violation, not a legitimate outcome).
     pub fn run<S: InstructionStream>(&mut self, mut stream: S) -> SimResult {
-        let start_ps = self.clocks.iter().map(|c| c.next_edge_ps()).min().unwrap_or(0);
+        let wall_start = Instant::now();
+        let start_ps = self
+            .clocks
+            .iter()
+            .map(|c| c.next_edge_ps())
+            .min()
+            .unwrap_or(0);
         let mut last_commit_check = (0u64, start_ps);
 
         loop {
@@ -1001,10 +443,10 @@ impl McdProcessor {
             }
         }
 
-        self.finish(start_ps)
+        self.finish(start_ps, wall_start)
     }
 
-    fn finish(&mut self, start_ps: TimePs) -> SimResult {
+    fn finish(&mut self, start_ps: TimePs, wall_start: Instant) -> SimResult {
         self.controller.finish();
         let elapsed = self.last_commit_ps.saturating_sub(start_ps).max(1);
         let avg_domain_freq_mhz = CONTROLLABLE_DOMAINS
@@ -1020,6 +462,9 @@ impl McdProcessor {
             })
             .collect();
 
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+        let host = HostStats::from_run(self.committed, wall_seconds);
+
         SimResult {
             committed_instructions: self.committed,
             frontend_cycles: self.clocks[DomainId::FrontEnd.index()].cycles(),
@@ -1034,6 +479,7 @@ impl McdProcessor {
             intervals: std::mem::take(&mut self.intervals),
             profile: std::mem::take(&mut self.profile),
             avg_domain_freq_mhz,
+            host,
         }
     }
 }
@@ -1042,6 +488,7 @@ impl McdProcessor {
 mod tests {
     use super::*;
     use mcd_control::{AttackDecayController, AttackDecayParams, FixedController};
+    use mcd_power::Structure;
     use mcd_workloads::{Benchmark, WorkloadGenerator};
 
     fn run_benchmark(
@@ -1068,6 +515,9 @@ mod tests {
         assert!(r.elapsed_ps > 0);
         assert!(r.chip_energy() > 0.0);
         assert!(r.branch_stats.direction_predictions > 0);
+        // Host-throughput telemetry is populated.
+        assert!(r.host.wall_seconds > 0.0);
+        assert!(r.host.simulated_mips > 0.0);
     }
 
     #[test]
@@ -1127,7 +577,11 @@ mod tests {
             SimConfig::baseline_mcd(30_000),
             Box::new(FixedController::at_max()),
         );
-        assert!(r.memory_accesses > 50, "mcf should miss to memory, got {}", r.memory_accesses);
+        assert!(
+            r.memory_accesses > 50,
+            "mcf should miss to memory, got {}",
+            r.memory_accesses
+        );
         assert!(r.l2_stats.misses > 50);
         // Memory-bound code has a much higher CPI than cache-resident code.
         let fast = run_benchmark(
@@ -1177,7 +631,10 @@ mod tests {
             SimConfig::baseline_mcd(30_000),
             Box::new(FixedController::pinned(vec![(DomainId::Integer, 250.0)])),
         );
-        assert!(slowed.elapsed_ps > base.elapsed_ps, "slowing the integer domain must cost time");
+        assert!(
+            slowed.elapsed_ps > base.elapsed_ps,
+            "slowing the integer domain must cost time"
+        );
         assert!(
             slowed.energy.domain(DomainId::Integer) < base.energy.domain(DomainId::Integer),
             "integer-domain energy must fall at 250 MHz / 0.65 V"
@@ -1197,9 +654,15 @@ mod tests {
         // its frequency below the maximum by the end of the run.
         let last = r.intervals.last().unwrap();
         let fp_last = last.domain(DomainId::FloatingPoint).unwrap().freq_mhz;
-        assert!(fp_last < 995.0, "unused FP domain should have decayed, final target = {fp_last}");
+        assert!(
+            fp_last < 995.0,
+            "unused FP domain should have decayed, final target = {fp_last}"
+        );
         let fp_avg = r.avg_freq(DomainId::FloatingPoint).unwrap();
-        assert!(fp_avg < 1000.0, "average must reflect the decay, avg = {fp_avg}");
+        assert!(
+            fp_avg < 1000.0,
+            "average must reflect the decay, avg = {fp_avg}"
+        );
     }
 
     #[test]
@@ -1218,9 +681,30 @@ mod tests {
         // Stream shorter than the instruction budget: the pipeline drains
         // and the run ends without hitting the watchdog.
         let stream = WorkloadGenerator::new(&Benchmark::Adpcm.spec(), 3, 5_000);
-        let mut cpu = McdProcessor::new(SimConfig::baseline_mcd(1_000_000), Box::new(FixedController::at_max()));
+        let mut cpu = McdProcessor::new(
+            SimConfig::baseline_mcd(1_000_000),
+            Box::new(FixedController::at_max()),
+        );
         let r = cpu.run(stream);
         assert_eq!(r.committed_instructions, 5_000);
+    }
+
+    #[test]
+    fn sequence_numbers_wrapping_past_rob_size_do_not_alias() {
+        // End-to-end slab-reuse regression test: a run of many times the
+        // ROB size in instructions forces every slot of the in-flight slab
+        // to be reused dozens of times.  Any aliasing of stale entries
+        // would either trip the slab's collision panic, deadlock issue
+        // (operands never ready -> watchdog panic), or corrupt the commit
+        // count.
+        let insts = 25_000; // ~300x the 80-entry ROB
+        let r = run_benchmark(
+            Benchmark::Gsm,
+            insts,
+            SimConfig::baseline_mcd(insts),
+            Box::new(FixedController::at_max()),
+        );
+        assert_eq!(r.committed_instructions, insts);
     }
 
     #[test]

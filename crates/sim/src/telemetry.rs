@@ -41,8 +41,40 @@ impl IntervalRecord {
     }
 }
 
+/// Host-side (simulator, not simulated) throughput of one run.
+///
+/// These numbers describe how fast the simulation itself executed, so the
+/// experiment engine can report wall-clock cost and simulated MIPS in its
+/// `BENCH_*.json` artefacts.  They are intentionally *excluded* from
+/// [`SimResult`]'s equality: two runs of the same configuration are equal
+/// when their simulated behaviour is identical, regardless of how long the
+/// host took.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct HostStats {
+    /// Wall-clock time of the run in seconds.
+    pub wall_seconds: f64,
+    /// Simulated millions of committed instructions per wall-clock second.
+    pub simulated_mips: f64,
+}
+
+impl HostStats {
+    /// Derives the throughput numbers from a run's committed-instruction
+    /// count and wall-clock duration.
+    pub fn from_run(committed_instructions: u64, wall_seconds: f64) -> Self {
+        let simulated_mips = if wall_seconds > 0.0 {
+            committed_instructions as f64 / wall_seconds / 1e6
+        } else {
+            0.0
+        };
+        HostStats {
+            wall_seconds,
+            simulated_mips,
+        }
+    }
+}
+
 /// The result of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
     /// Committed instructions.
     pub committed_instructions: u64,
@@ -75,6 +107,29 @@ pub struct SimResult {
     /// Average frequency of each controllable domain over the run, in MHz
     /// (cycle-weighted).
     pub avg_domain_freq_mhz: Vec<(DomainId, MegaHertz)>,
+    /// Host-side throughput of the run (excluded from equality).
+    pub host: HostStats,
+}
+
+impl PartialEq for SimResult {
+    /// Equality over the *simulated* outcome only: the host-throughput
+    /// numbers vary run to run and are deliberately ignored, so serial and
+    /// parallel executions of the same job compare bit-identical.
+    fn eq(&self, other: &Self) -> bool {
+        self.committed_instructions == other.committed_instructions
+            && self.frontend_cycles == other.frontend_cycles
+            && self.elapsed_ps == other.elapsed_ps
+            && self.energy == other.energy
+            && self.branch_stats == other.branch_stats
+            && self.l1i_stats == other.l1i_stats
+            && self.l1d_stats == other.l1d_stats
+            && self.l2_stats == other.l2_stats
+            && self.memory_accesses == other.memory_accesses
+            && self.mispredict_redirects == other.mispredict_redirects
+            && self.intervals == other.intervals
+            && self.profile == other.profile
+            && self.avg_domain_freq_mhz == other.avg_domain_freq_mhz
+    }
 }
 
 impl SimResult {
@@ -164,6 +219,7 @@ mod tests {
             intervals: vec![],
             profile: OfflineProfile::new(),
             avg_domain_freq_mhz: vec![(DomainId::Integer, 900.0)],
+            host: HostStats::from_run(instructions, 0.5),
         }
     }
 
@@ -181,12 +237,21 @@ mod tests {
     }
 
     #[test]
+    fn host_stats_are_excluded_from_equality() {
+        let mut a = result(10_000, 12_500, 12_500_000);
+        let b = result(10_000, 12_500, 12_500_000);
+        a.host = HostStats::from_run(10_000, 2.0);
+        assert!((a.host.simulated_mips - 0.005).abs() < 1e-12);
+        assert_ne!(a.host.wall_seconds, b.host.wall_seconds);
+        assert_eq!(a, b, "differing host throughput must not break equality");
+    }
+
+    #[test]
     fn chip_energy_excludes_main_memory() {
         let r = result(100, 100, 100_000);
         assert!(r.chip_energy() < r.energy.total);
         assert!(
-            (r.energy.total - r.chip_energy()
-                - EnergyParams::default().main_memory_access_energy)
+            (r.energy.total - r.chip_energy() - EnergyParams::default().main_memory_access_energy)
                 .abs()
                 < 1e-9
         );

@@ -65,7 +65,10 @@ impl WorkloadGenerator {
     pub fn new(spec: &WorkloadSpec, seed: u64, total_instructions: u64) -> Self {
         spec.validate()
             .unwrap_or_else(|e| panic!("invalid workload spec: {e}"));
-        assert!(total_instructions > 0, "instruction budget must be positive");
+        assert!(
+            total_instructions > 0,
+            "instruction budget must be positive"
+        );
         let total_weight = spec.total_weight();
         let mut phases: Vec<(Phase, u64)> = Vec::with_capacity(spec.phases.len());
         let mut assigned = 0u64;
@@ -171,7 +174,11 @@ impl WorkloadGenerator {
     /// stable input register when no producer exists yet.
     fn pick_src(&mut self, fp: bool) -> Reg {
         let dist = self.dep_distance();
-        let recent = if fp { &self.recent_fp_dst } else { &self.recent_int_dst };
+        let recent = if fp {
+            &self.recent_fp_dst
+        } else {
+            &self.recent_int_dst
+        };
         if recent.is_empty() {
             return if fp { Reg::fp(29) } else { Reg::int(29) };
         }
@@ -182,7 +189,11 @@ impl WorkloadGenerator {
     fn alloc_dst(&mut self, fp: bool) -> Reg {
         if fp {
             let r = Reg::fp(self.next_fp_dst);
-            self.next_fp_dst = if self.next_fp_dst >= FP_DST_REGS { 1 } else { self.next_fp_dst + 1 };
+            self.next_fp_dst = if self.next_fp_dst >= FP_DST_REGS {
+                1
+            } else {
+                self.next_fp_dst + 1
+            };
             if self.recent_fp_dst.len() == 64 {
                 self.recent_fp_dst.remove(0);
             }
@@ -190,7 +201,11 @@ impl WorkloadGenerator {
             r
         } else {
             let r = Reg::int(self.next_int_dst);
-            self.next_int_dst = if self.next_int_dst >= INT_DST_REGS { 1 } else { self.next_int_dst + 1 };
+            self.next_int_dst = if self.next_int_dst >= INT_DST_REGS {
+                1
+            } else {
+                self.next_int_dst + 1
+            };
             if self.recent_int_dst.len() == 64 {
                 self.recent_int_dst.remove(0);
             }
@@ -306,8 +321,8 @@ impl InstructionStream for WorkloadGenerator {
                 };
                 // Roughly a quarter of loads feed the FP register file in FP
                 // phases.
-                let fp_dest = self.current_phase_spec().mix.fp_fraction() > 0.05
-                    && self.rng.gen_bool(0.4);
+                let fp_dest =
+                    self.current_phase_spec().mix.fp_fraction() > 0.05 && self.rng.gen_bool(0.4);
                 let dst = self.alloc_dst(fp_dest);
                 if !fp_dest {
                     self.last_load_dst = Some(dst);
@@ -406,7 +421,11 @@ mod tests {
         let spec = simple_spec(InstructionMix::fp_code());
         let mut g = WorkloadGenerator::new(&spec, 3, 20_000);
         let stats = StreamStats::gather(&mut g, u64::MAX);
-        assert!(stats.fp_fraction() > 0.2, "fp fraction {}", stats.fp_fraction());
+        assert!(
+            stats.fp_fraction() > 0.2,
+            "fp fraction {}",
+            stats.fp_fraction()
+        );
     }
 
     #[test]
@@ -452,7 +471,11 @@ mod tests {
         // Fully predictable branches with every site biased taken: every
         // conditional branch must be taken.
         let mut phase = Phase::new(1.0, InstructionMix::integer_code());
-        phase.branches = BranchBehavior { predictability: 1.0, taken_bias: 1.0, static_branches: 4 };
+        phase.branches = BranchBehavior {
+            predictability: 1.0,
+            taken_bias: 1.0,
+            static_branches: 4,
+        };
         let spec = WorkloadSpec::new("biased", "test", vec![phase], 1.0);
         let mut g = WorkloadGenerator::new(&spec, 2, 20_000);
         let stats = StreamStats::gather(&mut g, u64::MAX);
@@ -461,7 +484,11 @@ mod tests {
 
         // With a 50% site bias the taken rate sits near one half.
         let mut phase = Phase::new(1.0, InstructionMix::integer_code());
-        phase.branches = BranchBehavior { predictability: 1.0, taken_bias: 0.5, static_branches: 64 };
+        phase.branches = BranchBehavior {
+            predictability: 1.0,
+            taken_bias: 0.5,
+            static_branches: 64,
+        };
         let spec = WorkloadSpec::new("mixed", "test", vec![phase], 1.0);
         let mut g = WorkloadGenerator::new(&spec, 2, 20_000);
         let stats = StreamStats::gather(&mut g, u64::MAX);

@@ -100,8 +100,14 @@ impl InstructionMix {
     /// Returns a description of the problem.
     pub fn validate(&self) -> Result<(), String> {
         let parts = [
-            self.int_alu, self.int_mul, self.fp_add, self.fp_mul, self.fp_div, self.load,
-            self.store, self.branch,
+            self.int_alu,
+            self.int_mul,
+            self.fp_add,
+            self.fp_mul,
+            self.fp_div,
+            self.load,
+            self.store,
+            self.branch,
         ];
         if parts.iter().any(|p| *p < 0.0) {
             return Err("instruction mix fractions must be non-negative".into());
@@ -208,12 +214,20 @@ pub struct BranchBehavior {
 impl BranchBehavior {
     /// Highly predictable loop-dominated code (multimedia kernels).
     pub fn predictable() -> Self {
-        BranchBehavior { predictability: 0.97, taken_bias: 0.75, static_branches: 64 }
+        BranchBehavior {
+            predictability: 0.97,
+            taken_bias: 0.75,
+            static_branches: 64,
+        }
     }
 
     /// Data-dependent control flow (e.g. compression, compilers).
     pub fn irregular() -> Self {
-        BranchBehavior { predictability: 0.80, taken_bias: 0.6, static_branches: 512 }
+        BranchBehavior {
+            predictability: 0.80,
+            taken_bias: 0.6,
+            static_branches: 512,
+        }
     }
 
     /// Validates ranges.
@@ -386,8 +400,14 @@ mod tests {
         m.load = -0.1;
         assert!(m.validate().is_err());
         let zero = InstructionMix {
-            int_alu: 0.0, int_mul: 0.0, fp_add: 0.0, fp_mul: 0.0,
-            fp_div: 0.0, load: 0.0, store: 0.0, branch: 0.0,
+            int_alu: 0.0,
+            int_mul: 0.0,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            load: 0.0,
+            store: 0.0,
+            branch: 0.0,
         };
         assert!(zero.validate().is_err());
     }

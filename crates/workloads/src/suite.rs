@@ -166,8 +166,9 @@ impl Benchmark {
     pub fn suite(self) -> Suite {
         use Benchmark::*;
         match self {
-            Adpcm | Epic | EpicDecode | Jpeg | G721 | Gsm | Ghostscript | Mesa | Mpeg2
-            | Pegwit => Suite::MediaBench,
+            Adpcm | Epic | EpicDecode | Jpeg | G721 | Gsm | Ghostscript | Mesa | Mpeg2 | Pegwit => {
+                Suite::MediaBench
+            }
             Bh | Bisort | Em3d | Health | Mst | Perimeter | Power | Treeadd | Tsp | Voronoi => {
                 Suite::Olden
             }
@@ -211,14 +212,31 @@ impl Benchmark {
     pub fn spec(self) -> WorkloadSpec {
         use Benchmark::*;
         let spec = |phases: Vec<Phase>| {
-            WorkloadSpec::new(self.name(), self.suite().name(), phases, self.paper_window_minstr())
+            WorkloadSpec::new(
+                self.name(),
+                self.suite().name(),
+                phases,
+                self.paper_window_minstr(),
+            )
         };
 
         // Common building blocks.
-        let media_branches = BranchBehavior { predictability: 0.96, taken_bias: 0.8, static_branches: 96 };
-        let olden_branches = BranchBehavior { predictability: 0.88, taken_bias: 0.65, static_branches: 256 };
+        let media_branches = BranchBehavior {
+            predictability: 0.96,
+            taken_bias: 0.8,
+            static_branches: 96,
+        };
+        let olden_branches = BranchBehavior {
+            predictability: 0.88,
+            taken_bias: 0.65,
+            static_branches: 256,
+        };
         let specint_branches = BranchBehavior::irregular();
-        let specfp_branches = BranchBehavior { predictability: 0.985, taken_bias: 0.9, static_branches: 48 };
+        let specfp_branches = BranchBehavior {
+            predictability: 0.985,
+            taken_bias: 0.9,
+            static_branches: 48,
+        };
 
         let small_mem = MemoryBehavior::cache_resident();
         let l2_resident = MemoryBehavior {
@@ -248,10 +266,19 @@ impl Benchmark {
             // ---------------- MediaBench ----------------
             Adpcm => spec(vec![
                 // Tight serial integer kernel, tiny working set.
-                Phase::new(1.0, InstructionMix {
-                    int_alu: 0.52, int_mul: 0.01, fp_add: 0.0, fp_mul: 0.0, fp_div: 0.0,
-                    load: 0.22, store: 0.08, branch: 0.17,
-                })
+                Phase::new(
+                    1.0,
+                    InstructionMix {
+                        int_alu: 0.52,
+                        int_mul: 0.01,
+                        fp_add: 0.0,
+                        fp_mul: 0.0,
+                        fp_div: 0.0,
+                        load: 0.22,
+                        store: 0.08,
+                        branch: 0.17,
+                    },
+                )
                 .with_memory(small_mem)
                 .with_branches(media_branches)
                 .with_dep_distance(2.5),
@@ -261,68 +288,133 @@ impl Benchmark {
                 // (the wavelet reconstruction), exactly the structure shown
                 // in the paper's Figure 3.
                 let int_phase = |w| {
-                    Phase::new(w, InstructionMix {
-                        int_alu: 0.44, int_mul: 0.02, fp_add: 0.0, fp_mul: 0.0, fp_div: 0.0,
-                        load: 0.27, store: 0.10, branch: 0.17,
-                    })
+                    Phase::new(
+                        w,
+                        InstructionMix {
+                            int_alu: 0.44,
+                            int_mul: 0.02,
+                            fp_add: 0.0,
+                            fp_mul: 0.0,
+                            fp_div: 0.0,
+                            load: 0.27,
+                            store: 0.10,
+                            branch: 0.17,
+                        },
+                    )
                     .with_memory(l2_resident)
                     .with_branches(media_branches)
                     .with_dep_distance(4.0)
                 };
                 let fp_phase = |w| {
-                    Phase::new(w, InstructionMix {
-                        int_alu: 0.20, int_mul: 0.01, fp_add: 0.20, fp_mul: 0.16, fp_div: 0.01,
-                        load: 0.26, store: 0.08, branch: 0.08,
-                    })
+                    Phase::new(
+                        w,
+                        InstructionMix {
+                            int_alu: 0.20,
+                            int_mul: 0.01,
+                            fp_add: 0.20,
+                            fp_mul: 0.16,
+                            fp_div: 0.01,
+                            load: 0.26,
+                            store: 0.08,
+                            branch: 0.08,
+                        },
+                    )
                     .with_memory(stream_mem)
                     .with_branches(media_branches)
                     .with_dep_distance(8.0)
                 };
-                spec(vec![int_phase(0.25), fp_phase(0.18), int_phase(0.22), fp_phase(0.12), int_phase(0.23)])
+                spec(vec![
+                    int_phase(0.25),
+                    fp_phase(0.18),
+                    int_phase(0.22),
+                    fp_phase(0.12),
+                    int_phase(0.23),
+                ])
             }
             Jpeg => spec(vec![
-                Phase::new(0.6, InstructionMix {
-                    int_alu: 0.46, int_mul: 0.06, fp_add: 0.0, fp_mul: 0.0, fp_div: 0.0,
-                    load: 0.25, store: 0.09, branch: 0.14,
-                })
+                Phase::new(
+                    0.6,
+                    InstructionMix {
+                        int_alu: 0.46,
+                        int_mul: 0.06,
+                        fp_add: 0.0,
+                        fp_mul: 0.0,
+                        fp_div: 0.0,
+                        load: 0.25,
+                        store: 0.09,
+                        branch: 0.14,
+                    },
+                )
                 .with_memory(l2_resident)
                 .with_branches(media_branches)
                 .with_dep_distance(6.0),
-                Phase::new(0.4, InstructionMix {
-                    int_alu: 0.40, int_mul: 0.10, fp_add: 0.02, fp_mul: 0.02, fp_div: 0.0,
-                    load: 0.26, store: 0.08, branch: 0.12,
-                })
+                Phase::new(
+                    0.4,
+                    InstructionMix {
+                        int_alu: 0.40,
+                        int_mul: 0.10,
+                        fp_add: 0.02,
+                        fp_mul: 0.02,
+                        fp_div: 0.0,
+                        load: 0.26,
+                        store: 0.08,
+                        branch: 0.12,
+                    },
+                )
                 .with_memory(stream_mem)
                 .with_branches(media_branches)
                 .with_dep_distance(7.0),
             ]),
-            G721 => spec(vec![
-                Phase::new(1.0, InstructionMix {
-                    int_alu: 0.50, int_mul: 0.04, fp_add: 0.0, fp_mul: 0.0, fp_div: 0.0,
-                    load: 0.22, store: 0.07, branch: 0.17,
-                })
-                .with_memory(small_mem)
-                .with_branches(media_branches)
-                .with_dep_distance(3.0),
-            ]),
-            Gsm => spec(vec![
-                Phase::new(1.0, InstructionMix {
-                    int_alu: 0.48, int_mul: 0.08, fp_add: 0.0, fp_mul: 0.0, fp_div: 0.0,
-                    load: 0.22, store: 0.07, branch: 0.15,
-                })
-                .with_memory(small_mem)
-                .with_branches(media_branches)
-                .with_dep_distance(4.5),
-            ]),
+            G721 => spec(vec![Phase::new(
+                1.0,
+                InstructionMix {
+                    int_alu: 0.50,
+                    int_mul: 0.04,
+                    fp_add: 0.0,
+                    fp_mul: 0.0,
+                    fp_div: 0.0,
+                    load: 0.22,
+                    store: 0.07,
+                    branch: 0.17,
+                },
+            )
+            .with_memory(small_mem)
+            .with_branches(media_branches)
+            .with_dep_distance(3.0)]),
+            Gsm => spec(vec![Phase::new(
+                1.0,
+                InstructionMix {
+                    int_alu: 0.48,
+                    int_mul: 0.08,
+                    fp_add: 0.0,
+                    fp_mul: 0.0,
+                    fp_div: 0.0,
+                    load: 0.22,
+                    store: 0.07,
+                    branch: 0.15,
+                },
+            )
+            .with_memory(small_mem)
+            .with_branches(media_branches)
+            .with_dep_distance(4.5)]),
             Ghostscript => spec(vec![
                 Phase::new(0.7, InstructionMix::integer_code())
                     .with_memory(l2_resident)
                     .with_branches(specint_branches)
                     .with_dep_distance(5.0),
-                Phase::new(0.3, InstructionMix {
-                    int_alu: 0.36, int_mul: 0.02, fp_add: 0.06, fp_mul: 0.04, fp_div: 0.01,
-                    load: 0.28, store: 0.10, branch: 0.13,
-                })
+                Phase::new(
+                    0.3,
+                    InstructionMix {
+                        int_alu: 0.36,
+                        int_mul: 0.02,
+                        fp_add: 0.06,
+                        fp_mul: 0.04,
+                        fp_div: 0.01,
+                        load: 0.28,
+                        store: 0.10,
+                        branch: 0.13,
+                    },
+                )
                 .with_memory(l2_resident)
                 .with_branches(specint_branches)
                 .with_dep_distance(5.0),
@@ -344,27 +436,54 @@ impl Benchmark {
                     .with_dep_distance(9.0),
             ]),
             Mpeg2 => spec(vec![
-                Phase::new(0.55, InstructionMix {
-                    int_alu: 0.44, int_mul: 0.07, fp_add: 0.03, fp_mul: 0.02, fp_div: 0.0,
-                    load: 0.26, store: 0.07, branch: 0.11,
-                })
+                Phase::new(
+                    0.55,
+                    InstructionMix {
+                        int_alu: 0.44,
+                        int_mul: 0.07,
+                        fp_add: 0.03,
+                        fp_mul: 0.02,
+                        fp_div: 0.0,
+                        load: 0.26,
+                        store: 0.07,
+                        branch: 0.11,
+                    },
+                )
                 .with_memory(stream_mem)
                 .with_branches(media_branches)
                 .with_dep_distance(8.0),
-                Phase::new(0.45, InstructionMix {
-                    int_alu: 0.48, int_mul: 0.04, fp_add: 0.0, fp_mul: 0.0, fp_div: 0.0,
-                    load: 0.26, store: 0.08, branch: 0.14,
-                })
+                Phase::new(
+                    0.45,
+                    InstructionMix {
+                        int_alu: 0.48,
+                        int_mul: 0.04,
+                        fp_add: 0.0,
+                        fp_mul: 0.0,
+                        fp_div: 0.0,
+                        load: 0.26,
+                        store: 0.08,
+                        branch: 0.14,
+                    },
+                )
                 .with_memory(l2_resident)
                 .with_branches(media_branches)
                 .with_dep_distance(5.0),
             ]),
             Pegwit => spec(vec![
                 // Elliptic-curve cryptography: long serial integer chains.
-                Phase::new(1.0, InstructionMix {
-                    int_alu: 0.55, int_mul: 0.09, fp_add: 0.0, fp_mul: 0.0, fp_div: 0.0,
-                    load: 0.17, store: 0.05, branch: 0.14,
-                })
+                Phase::new(
+                    1.0,
+                    InstructionMix {
+                        int_alu: 0.55,
+                        int_mul: 0.09,
+                        fp_add: 0.0,
+                        fp_mul: 0.0,
+                        fp_div: 0.0,
+                        load: 0.17,
+                        store: 0.05,
+                        branch: 0.14,
+                    },
+                )
                 .with_memory(small_mem)
                 .with_branches(media_branches)
                 .with_dep_distance(2.0),
@@ -377,27 +496,45 @@ impl Benchmark {
                     .with_memory(pointer_mem)
                     .with_branches(olden_branches)
                     .with_dep_distance(3.0),
-                Phase::new(0.55, InstructionMix {
-                    int_alu: 0.26, int_mul: 0.01, fp_add: 0.16, fp_mul: 0.12, fp_div: 0.02,
-                    load: 0.28, store: 0.06, branch: 0.09,
-                })
+                Phase::new(
+                    0.55,
+                    InstructionMix {
+                        int_alu: 0.26,
+                        int_mul: 0.01,
+                        fp_add: 0.16,
+                        fp_mul: 0.12,
+                        fp_div: 0.02,
+                        load: 0.28,
+                        store: 0.06,
+                        branch: 0.09,
+                    },
+                )
                 .with_memory(pointer_mem)
                 .with_branches(olden_branches)
                 .with_dep_distance(7.0),
             ]),
-            Bisort | Perimeter | Treeadd | Tsp => spec(vec![
-                Phase::new(1.0, InstructionMix::pointer_chasing())
+            Bisort | Perimeter | Treeadd | Tsp => {
+                spec(vec![Phase::new(1.0, InstructionMix::pointer_chasing())
                     .with_memory(pointer_mem)
                     .with_branches(olden_branches)
-                    .with_dep_distance(3.0),
-            ]),
+                    .with_dep_distance(3.0)])
+            }
             Em3d | Health | Mst => spec(vec![
                 // The memory-bound Olden trio: enormous footprints, heavy
                 // pointer chasing.
-                Phase::new(1.0, InstructionMix {
-                    int_alu: 0.30, int_mul: 0.0, fp_add: 0.02, fp_mul: 0.01, fp_div: 0.0,
-                    load: 0.40, store: 0.08, branch: 0.19,
-                })
+                Phase::new(
+                    1.0,
+                    InstructionMix {
+                        int_alu: 0.30,
+                        int_mul: 0.0,
+                        fp_add: 0.02,
+                        fp_mul: 0.01,
+                        fp_div: 0.0,
+                        load: 0.40,
+                        store: 0.08,
+                        branch: 0.19,
+                    },
+                )
                 .with_memory(huge_mem)
                 .with_branches(olden_branches)
                 .with_dep_distance(2.5),
@@ -405,10 +542,19 @@ impl Benchmark {
             Power => spec(vec![
                 // Power-system optimisation: mostly floating point over a
                 // tree, modest footprint.
-                Phase::new(1.0, InstructionMix {
-                    int_alu: 0.24, int_mul: 0.01, fp_add: 0.20, fp_mul: 0.15, fp_div: 0.03,
-                    load: 0.24, store: 0.05, branch: 0.08,
-                })
+                Phase::new(
+                    1.0,
+                    InstructionMix {
+                        int_alu: 0.24,
+                        int_mul: 0.01,
+                        fp_add: 0.20,
+                        fp_mul: 0.15,
+                        fp_div: 0.03,
+                        load: 0.24,
+                        store: 0.05,
+                        branch: 0.08,
+                    },
+                )
                 .with_memory(l2_resident)
                 .with_branches(olden_branches)
                 .with_dep_distance(6.0),
@@ -418,10 +564,19 @@ impl Benchmark {
                     .with_memory(pointer_mem)
                     .with_branches(olden_branches)
                     .with_dep_distance(3.0),
-                Phase::new(0.4, InstructionMix {
-                    int_alu: 0.28, int_mul: 0.01, fp_add: 0.14, fp_mul: 0.10, fp_div: 0.02,
-                    load: 0.28, store: 0.07, branch: 0.10,
-                })
+                Phase::new(
+                    0.4,
+                    InstructionMix {
+                        int_alu: 0.28,
+                        int_mul: 0.01,
+                        fp_add: 0.14,
+                        fp_mul: 0.10,
+                        fp_div: 0.02,
+                        load: 0.28,
+                        store: 0.07,
+                        branch: 0.10,
+                    },
+                )
                 .with_memory(pointer_mem)
                 .with_branches(olden_branches)
                 .with_dep_distance(5.0),
@@ -429,17 +584,35 @@ impl Benchmark {
 
             // ---------------- SPEC2000 integer ----------------
             Bzip2 | Gzip => spec(vec![
-                Phase::new(0.5, InstructionMix {
-                    int_alu: 0.46, int_mul: 0.01, fp_add: 0.0, fp_mul: 0.0, fp_div: 0.0,
-                    load: 0.28, store: 0.09, branch: 0.16,
-                })
+                Phase::new(
+                    0.5,
+                    InstructionMix {
+                        int_alu: 0.46,
+                        int_mul: 0.01,
+                        fp_add: 0.0,
+                        fp_mul: 0.0,
+                        fp_div: 0.0,
+                        load: 0.28,
+                        store: 0.09,
+                        branch: 0.16,
+                    },
+                )
                 .with_memory(l2_resident)
                 .with_branches(specint_branches)
                 .with_dep_distance(4.0),
-                Phase::new(0.5, InstructionMix {
-                    int_alu: 0.42, int_mul: 0.01, fp_add: 0.0, fp_mul: 0.0, fp_div: 0.0,
-                    load: 0.30, store: 0.11, branch: 0.16,
-                })
+                Phase::new(
+                    0.5,
+                    InstructionMix {
+                        int_alu: 0.42,
+                        int_mul: 0.01,
+                        fp_add: 0.0,
+                        fp_mul: 0.0,
+                        fp_div: 0.0,
+                        load: 0.30,
+                        store: 0.11,
+                        branch: 0.16,
+                    },
+                )
                 .with_memory(MemoryBehavior {
                     footprint_bytes: 2 * 1024 * 1024,
                     hot_set_bytes: 256 * 1024,
@@ -452,10 +625,19 @@ impl Benchmark {
             ]),
             Gcc => spec(vec![
                 // Large, branchy code with a sizeable data footprint.
-                Phase::new(1.0, InstructionMix {
-                    int_alu: 0.40, int_mul: 0.01, fp_add: 0.0, fp_mul: 0.0, fp_div: 0.0,
-                    load: 0.29, store: 0.10, branch: 0.20,
-                })
+                Phase::new(
+                    1.0,
+                    InstructionMix {
+                        int_alu: 0.40,
+                        int_mul: 0.01,
+                        fp_add: 0.0,
+                        fp_mul: 0.0,
+                        fp_div: 0.0,
+                        load: 0.29,
+                        store: 0.10,
+                        branch: 0.20,
+                    },
+                )
                 .with_memory(MemoryBehavior {
                     footprint_bytes: 4 * 1024 * 1024,
                     hot_set_bytes: 512 * 1024,
@@ -463,16 +645,29 @@ impl Benchmark {
                     streaming_fraction: 0.1,
                     pointer_chase_fraction: 0.2,
                 })
-                .with_branches(BranchBehavior { predictability: 0.9, taken_bias: 0.6, static_branches: 1024 })
+                .with_branches(BranchBehavior {
+                    predictability: 0.9,
+                    taken_bias: 0.6,
+                    static_branches: 1024,
+                })
                 .with_dep_distance(3.5),
             ]),
             Mcf => spec(vec![
                 // The famously memory-bound network-simplex solver: nearly
                 // every load misses all the way to main memory.
-                Phase::new(1.0, InstructionMix {
-                    int_alu: 0.28, int_mul: 0.0, fp_add: 0.0, fp_mul: 0.0, fp_div: 0.0,
-                    load: 0.42, store: 0.06, branch: 0.24,
-                })
+                Phase::new(
+                    1.0,
+                    InstructionMix {
+                        int_alu: 0.28,
+                        int_mul: 0.0,
+                        fp_add: 0.0,
+                        fp_mul: 0.0,
+                        fp_div: 0.0,
+                        load: 0.42,
+                        store: 0.06,
+                        branch: 0.24,
+                    },
+                )
                 .with_memory(MemoryBehavior {
                     footprint_bytes: 16 * 1024 * 1024,
                     hot_set_bytes: 1024 * 1024,
@@ -480,27 +675,47 @@ impl Benchmark {
                     streaming_fraction: 0.02,
                     pointer_chase_fraction: 0.35,
                 })
-                .with_branches(BranchBehavior { predictability: 0.72, taken_bias: 0.55, static_branches: 256 })
+                .with_branches(BranchBehavior {
+                    predictability: 0.72,
+                    taken_bias: 0.55,
+                    static_branches: 256,
+                })
                 .with_dep_distance(2.5),
             ]),
-            Parser | Vortex | Vpr => spec(vec![
-                Phase::new(1.0, InstructionMix {
-                    int_alu: 0.41, int_mul: 0.01, fp_add: 0.0, fp_mul: 0.0, fp_div: 0.0,
-                    load: 0.29, store: 0.10, branch: 0.19,
-                })
-                .with_memory(pointer_mem)
-                .with_branches(specint_branches)
-                .with_dep_distance(4.0),
-            ]),
+            Parser | Vortex | Vpr => spec(vec![Phase::new(
+                1.0,
+                InstructionMix {
+                    int_alu: 0.41,
+                    int_mul: 0.01,
+                    fp_add: 0.0,
+                    fp_mul: 0.0,
+                    fp_div: 0.0,
+                    load: 0.29,
+                    store: 0.10,
+                    branch: 0.19,
+                },
+            )
+            .with_memory(pointer_mem)
+            .with_branches(specint_branches)
+            .with_dep_distance(4.0)]),
 
             // ---------------- SPEC2000 floating point ----------------
             Art => spec(vec![
                 // Neural-network simulation: FP streaming over arrays that
                 // exceed the L2.
-                Phase::new(1.0, InstructionMix {
-                    int_alu: 0.20, int_mul: 0.0, fp_add: 0.22, fp_mul: 0.18, fp_div: 0.01,
-                    load: 0.28, store: 0.05, branch: 0.06,
-                })
+                Phase::new(
+                    1.0,
+                    InstructionMix {
+                        int_alu: 0.20,
+                        int_mul: 0.0,
+                        fp_add: 0.22,
+                        fp_mul: 0.18,
+                        fp_div: 0.01,
+                        load: 0.28,
+                        store: 0.05,
+                        branch: 0.06,
+                    },
+                )
                 .with_memory(MemoryBehavior {
                     footprint_bytes: 16 * 1024 * 1024,
                     hot_set_bytes: 128 * 1024,
@@ -516,10 +731,19 @@ impl Benchmark {
                     .with_memory(pointer_mem)
                     .with_branches(specfp_branches)
                     .with_dep_distance(4.0),
-                Phase::new(0.7, InstructionMix {
-                    int_alu: 0.18, int_mul: 0.0, fp_add: 0.24, fp_mul: 0.20, fp_div: 0.02,
-                    load: 0.26, store: 0.06, branch: 0.04,
-                })
+                Phase::new(
+                    0.7,
+                    InstructionMix {
+                        int_alu: 0.18,
+                        int_mul: 0.0,
+                        fp_add: 0.24,
+                        fp_mul: 0.20,
+                        fp_div: 0.02,
+                        load: 0.26,
+                        store: 0.06,
+                        branch: 0.04,
+                    },
+                )
                 .with_memory(MemoryBehavior {
                     footprint_bytes: 24 * 1024 * 1024,
                     hot_set_bytes: 256 * 1024,
@@ -542,10 +766,19 @@ impl Benchmark {
             ]),
             Swim => spec(vec![
                 // Shallow-water stencils: pure FP streaming, huge arrays.
-                Phase::new(1.0, InstructionMix {
-                    int_alu: 0.14, int_mul: 0.0, fp_add: 0.28, fp_mul: 0.24, fp_div: 0.01,
-                    load: 0.24, store: 0.07, branch: 0.02,
-                })
+                Phase::new(
+                    1.0,
+                    InstructionMix {
+                        int_alu: 0.14,
+                        int_mul: 0.0,
+                        fp_add: 0.28,
+                        fp_mul: 0.24,
+                        fp_div: 0.01,
+                        load: 0.24,
+                        store: 0.07,
+                        branch: 0.02,
+                    },
+                )
                 .with_memory(MemoryBehavior {
                     footprint_bytes: 32 * 1024 * 1024,
                     hot_set_bytes: 64 * 1024,
@@ -594,7 +827,8 @@ mod tests {
     fn every_spec_validates() {
         for b in Benchmark::ALL.iter().chain([&Benchmark::EpicDecode]) {
             let spec = b.spec();
-            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
             assert_eq!(spec.name, b.name());
             assert_eq!(spec.suite, b.suite().name());
             assert!(spec.paper_window_minstr > 0.0);
@@ -604,11 +838,25 @@ mod tests {
     #[test]
     fn epic_decode_has_distinct_fp_phases() {
         let spec = Benchmark::EpicDecode.spec();
-        assert!(spec.phases.len() >= 3, "epic decode needs idle/burst/idle FP structure");
-        let fp_phases = spec.phases.iter().filter(|p| p.mix.fp_fraction() > 0.1).count();
-        let int_phases = spec.phases.iter().filter(|p| p.mix.fp_fraction() < 0.01).count();
+        assert!(
+            spec.phases.len() >= 3,
+            "epic decode needs idle/burst/idle FP structure"
+        );
+        let fp_phases = spec
+            .phases
+            .iter()
+            .filter(|p| p.mix.fp_fraction() > 0.1)
+            .count();
+        let int_phases = spec
+            .phases
+            .iter()
+            .filter(|p| p.mix.fp_fraction() < 0.01)
+            .count();
         assert!(fp_phases >= 2, "two FP bursts expected (paper Figure 3)");
-        assert!(int_phases >= 2, "FP-idle stretches expected between the bursts");
+        assert!(
+            int_phases >= 2,
+            "FP-idle stretches expected between the bursts"
+        );
     }
 
     #[test]
@@ -630,17 +878,41 @@ mod tests {
 
     #[test]
     fn fp_benchmarks_have_fp_work_and_integer_benchmarks_do_not() {
-        for b in [Benchmark::Art, Benchmark::Equake, Benchmark::Swim, Benchmark::MesaSpec] {
-            assert!(b.spec().avg_fp_fraction() > 0.15, "{} should be FP heavy", b.name());
+        for b in [
+            Benchmark::Art,
+            Benchmark::Equake,
+            Benchmark::Swim,
+            Benchmark::MesaSpec,
+        ] {
+            assert!(
+                b.spec().avg_fp_fraction() > 0.15,
+                "{} should be FP heavy",
+                b.name()
+            );
         }
-        for b in [Benchmark::Gzip, Benchmark::Mcf, Benchmark::Parser, Benchmark::Adpcm, Benchmark::G721] {
-            assert!(b.spec().avg_fp_fraction() < 0.02, "{} should have no FP", b.name());
+        for b in [
+            Benchmark::Gzip,
+            Benchmark::Mcf,
+            Benchmark::Parser,
+            Benchmark::Adpcm,
+            Benchmark::G721,
+        ] {
+            assert!(
+                b.spec().avg_fp_fraction() < 0.02,
+                "{} should have no FP",
+                b.name()
+            );
         }
     }
 
     #[test]
     fn olden_benchmarks_are_pointer_chasers() {
-        for b in [Benchmark::Em3d, Benchmark::Health, Benchmark::Mst, Benchmark::Treeadd] {
+        for b in [
+            Benchmark::Em3d,
+            Benchmark::Health,
+            Benchmark::Mst,
+            Benchmark::Treeadd,
+        ] {
             let spec = b.spec();
             let p = &spec.phases[0];
             assert!(

@@ -6,20 +6,23 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use mcd::control::AttackDecayParams;
 use mcd::core::metrics::Comparison;
 use mcd::core::presets;
 use mcd::core::runner::{BenchmarkRunner, ConfigKind};
-use mcd::control::AttackDecayParams;
 use mcd::workloads::Benchmark;
 
 fn main() {
     println!("{}", presets::render_table1());
 
     let bench = Benchmark::Epic;
-    let mut runner = BenchmarkRunner::new(80_000, 42).with_interval(1_000);
+    let runner = BenchmarkRunner::new(80_000, 42).with_interval(1_000);
 
     let baseline = runner.run(bench, &ConfigKind::BaselineMcd);
-    let attack = runner.run(bench, &ConfigKind::AttackDecay(AttackDecayParams::paper_defaults()));
+    let attack = runner.run(
+        bench,
+        &ConfigKind::AttackDecay(AttackDecayParams::paper_defaults()),
+    );
 
     println!("benchmark: {}", bench.name());
     println!(

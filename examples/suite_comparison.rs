@@ -22,5 +22,8 @@ fn main() {
 
     let rows = table6::mcd_rows(&outcomes);
     let table = table6::Table6 { rows };
-    println!("Table 6 (MCD rows, relative to the baseline MCD processor)\n{}", table.render());
+    println!(
+        "Table 6 (MCD rows, relative to the baseline MCD processor)\n{}",
+        table.render()
+    );
 }

@@ -9,11 +9,11 @@
 //! at least competitive with the on-line algorithm; and conventional global
 //! voltage scaling yields a power/performance ratio near 2.
 
+use mcd::clock::DomainId;
 use mcd::control::AttackDecayParams;
 use mcd::core::experiments::{run_suite, table6, traces, ExperimentSettings};
 use mcd::core::metrics::{suite_average, Comparison};
 use mcd::core::runner::{BenchmarkRunner, ConfigKind};
-use mcd::clock::DomainId;
 use mcd::workloads::Benchmark;
 
 fn quick_settings(benchmarks: Vec<Benchmark>) -> ExperimentSettings {
@@ -24,6 +24,7 @@ fn quick_settings(benchmarks: Vec<Benchmark>) -> ExperimentSettings {
         seed: 42,
         global_search_iters: 3,
         parallel: true,
+        jobs: None,
     }
 }
 
@@ -31,20 +32,31 @@ fn quick_settings(benchmarks: Vec<Benchmark>) -> ExperimentSettings {
 fn baseline_mcd_inherent_degradation_is_small() {
     // Paper Section 2: the inherent performance degradation of the MCD
     // processor (synchronization penalties only) is a few percent.
-    let mut runner = BenchmarkRunner::new(60_000, 7).with_interval(1_000);
+    let runner = BenchmarkRunner::new(60_000, 7).with_interval(1_000);
     let mut degradations = Vec::new();
     for bench in [Benchmark::Adpcm, Benchmark::Gzip, Benchmark::Swim] {
         let sync = runner.run(bench, &ConfigKind::FullySynchronous).result;
         let mcd = runner.run(bench, &ConfigKind::BaselineMcd).result;
         let deg = mcd.elapsed_ps as f64 / sync.elapsed_ps as f64 - 1.0;
-        assert!(deg > -0.02, "{}: MCD cannot be meaningfully faster ({deg})", bench.name());
-        assert!(deg < 0.12, "{}: inherent MCD degradation too large ({deg})", bench.name());
+        assert!(
+            deg > -0.02,
+            "{}: MCD cannot be meaningfully faster ({deg})",
+            bench.name()
+        );
+        assert!(
+            deg < 0.12,
+            "{}: inherent MCD degradation too large ({deg})",
+            bench.name()
+        );
         degradations.push(deg);
         // The MCD configuration also pays extra clock energy.
         assert!(mcd.chip_energy() > sync.chip_energy());
     }
     let avg = degradations.iter().sum::<f64>() / degradations.len() as f64;
-    assert!(avg < 0.08, "average inherent degradation should be small, got {avg}");
+    assert!(
+        avg < 0.08,
+        "average inherent degradation should be small, got {avg}"
+    );
 }
 
 #[test]
@@ -90,7 +102,10 @@ fn attack_decay_saves_energy_with_bounded_slowdown_across_suites() {
     // DVFS.
     if avg.perf_degradation > 0.01 {
         let ratio = avg.power_savings / avg.perf_degradation;
-        assert!(ratio > 1.0, "per-domain scaling must convert slowdown into power savings, ratio {ratio:.2}");
+        assert!(
+            ratio > 1.0,
+            "per-domain scaling must convert slowdown into power savings, ratio {ratio:.2}"
+        );
     }
 }
 
@@ -112,8 +127,16 @@ fn offline_oracle_is_competitive_with_online_algorithm() {
     let ad = avg_for(|o| &o.attack_decay);
     let d1 = avg_for(|o| &o.dynamic1);
     let d5 = avg_for(|o| &o.dynamic5);
-    assert!(d1.energy_savings > 0.0, "Dynamic-1% must save energy, got {:.3}", d1.energy_savings);
-    assert!(d5.energy_savings > 0.0, "Dynamic-5% must save energy, got {:.3}", d5.energy_savings);
+    assert!(
+        d1.energy_savings > 0.0,
+        "Dynamic-1% must save energy, got {:.3}",
+        d1.energy_savings
+    );
+    assert!(
+        d5.energy_savings > 0.0,
+        "Dynamic-5% must save energy, got {:.3}",
+        d5.energy_savings
+    );
     assert!(
         d5.perf_degradation >= d1.perf_degradation - 0.01,
         "the more aggressive oracle costs at least as much performance ({:.3} vs {:.3})",
@@ -136,7 +159,7 @@ fn global_scaling_power_performance_ratio_is_near_two() {
     // Paper Table 6: conventional global voltage scaling achieves a power
     // savings to performance degradation ratio of about 2 with this
     // frequency/voltage table.
-    let mut runner = BenchmarkRunner::new(50_000, 11).with_interval(1_000);
+    let runner = BenchmarkRunner::new(50_000, 11).with_interval(1_000);
     let mut ratios = Vec::new();
     for bench in [Benchmark::Adpcm, Benchmark::Gsm] {
         let sync = runner.run(bench, &ConfigKind::FullySynchronous).result;
@@ -163,18 +186,35 @@ fn epic_decode_fp_domain_tracks_the_phase_structure() {
     let data = traces::run(150_000, 42);
     assert!(data.points.len() >= 50);
     let (fp_min, fp_max) = data.fp_freq_range();
-    assert!(fp_max > fp_min + 0.02, "FP frequency must move ({fp_min}..{fp_max})");
+    assert!(
+        fp_max > fp_min + 0.02,
+        "FP frequency must move ({fp_min}..{fp_max})"
+    );
     assert!(fp_min < 0.99, "FP domain must decay while idle");
     // The FIQ utilisation must show both idle and busy intervals.
-    let max_fiq = data.points.iter().map(|p| p.fiq_utilization).fold(0.0f64, f64::max);
-    let min_fiq = data.points.iter().map(|p| p.fiq_utilization).fold(f64::MAX, f64::min);
-    assert!(max_fiq > 1.0, "the FP bursts must load the FP issue queue, max {max_fiq}");
-    assert!(min_fiq < 0.5, "the FP-idle phases must leave the queue nearly empty, min {min_fiq}");
+    let max_fiq = data
+        .points
+        .iter()
+        .map(|p| p.fiq_utilization)
+        .fold(0.0f64, f64::max);
+    let min_fiq = data
+        .points
+        .iter()
+        .map(|p| p.fiq_utilization)
+        .fold(f64::MAX, f64::min);
+    assert!(
+        max_fiq > 1.0,
+        "the FP bursts must load the FP issue queue, max {max_fiq}"
+    );
+    assert!(
+        min_fiq < 0.5,
+        "the FP-idle phases must leave the queue nearly empty, min {min_fiq}"
+    );
 }
 
 #[test]
 fn attack_decay_parks_unused_fp_domain_and_keeps_busy_domains_fast() {
-    let mut runner = BenchmarkRunner::new(80_000, 13).with_interval(1_000);
+    let runner = BenchmarkRunner::new(80_000, 13).with_interval(1_000);
     // gzip: no floating point at all.
     let gzip = runner.run(
         Benchmark::Gzip,
@@ -182,7 +222,10 @@ fn attack_decay_parks_unused_fp_domain_and_keeps_busy_domains_fast() {
     );
     let fp_avg = gzip.result.avg_freq(DomainId::FloatingPoint).unwrap();
     let int_avg = gzip.result.avg_freq(DomainId::Integer).unwrap();
-    assert!(fp_avg < int_avg, "the unused FP domain must end up slower than the integer domain");
+    assert!(
+        fp_avg < int_avg,
+        "the unused FP domain must end up slower than the integer domain"
+    );
     // swim: heavy floating point; its FP domain must stay much faster than
     // gzip's.
     let swim = runner.run(
@@ -199,7 +242,7 @@ fn attack_decay_parks_unused_fp_domain_and_keeps_busy_domains_fast() {
 #[test]
 fn runs_are_deterministic_across_identical_invocations() {
     let run = || {
-        let mut runner = BenchmarkRunner::new(30_000, 99).with_interval(1_000);
+        let runner = BenchmarkRunner::new(30_000, 99).with_interval(1_000);
         let out = runner.run(
             Benchmark::Mcf,
             &ConfigKind::AttackDecay(AttackDecayParams::paper_defaults()),

@@ -32,7 +32,7 @@ proptest! {
         }
         // Voltage tracks frequency monotonically.
         let v = table.voltage_for_freq(nearest.freq_mhz);
-        prop_assert!(v >= 0.65 - 1e-9 && v <= 1.2 + 1e-9);
+        prop_assert!((0.65 - 1e-9..=1.2 + 1e-9).contains(&v));
     }
 
     /// Synchronization capture never travels backwards in time and never

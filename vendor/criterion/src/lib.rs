@@ -1,0 +1,215 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API used by `mcd-bench`:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros.  Each benchmark auto-scales its iteration
+//! count until one sample takes at least the measurement target
+//! (`MCD_BENCH_MS` milliseconds, default 300), then prints the per
+//! iteration mean wall-clock time.  Results also accumulate in-process so
+//! harnesses can export machine-readable artefacts (see
+//! [`Criterion::take_results`]).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Fully qualified benchmark id (`group/function`).
+    pub id: String,
+    /// Iterations of the final sample.
+    pub iterations: u64,
+    /// Total wall-clock time of the final sample.
+    pub elapsed: Duration,
+}
+
+impl BenchResult {
+    /// Mean nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iterations.max(1) as f64
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    target: Duration,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, auto-scaling the iteration count until the
+    /// sample spans the measurement target.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up iteration (first-touch allocations, cache warming).
+        black_box(f());
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target || iters >= 1 << 24 {
+                self.iterations = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+            // Scale toward the target with headroom, at least doubling.
+            let scale = if elapsed.is_zero() {
+                8.0
+            } else {
+                (self.target.as_secs_f64() / elapsed.as_secs_f64() * 1.2).max(2.0)
+            };
+            iters = ((iters as f64 * scale) as u64).max(iters + 1);
+        }
+    }
+}
+
+fn target_from_env() -> Duration {
+    let ms = std::env::var("MCD_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Top-level benchmark registry (API mirror of `criterion::Criterion`).
+pub struct Criterion {
+    target: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target: target_from_env(),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            target: self.target,
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let result = BenchResult {
+            id: id.clone(),
+            iterations: b.iterations,
+            elapsed: b.elapsed,
+        };
+        println!(
+            "bench: {id:<40} {:>12}/iter ({} iters in {:.3} s)",
+            format_ns(result.ns_per_iter()),
+            result.iterations,
+            result.elapsed.as_secs_f64()
+        );
+        self.results.push(result);
+    }
+
+    /// Measures one benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id.to_string(), &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Drains the accumulated results (used to export artefacts).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+/// A named benchmark group (API mirror of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in takes one sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measures one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.run_one(full, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_scales_iterations_and_records_results() {
+        std::env::set_var("MCD_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("inner", |b| b.iter(|| black_box(2u64 * 3)));
+        group.finish();
+        let results = c.take_results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "spin");
+        assert_eq!(results[1].id, "g/inner");
+        assert!(results.iter().all(|r| r.iterations >= 1));
+        assert!(results.iter().all(|r| r.ns_per_iter() > 0.0));
+        assert!(c.take_results().is_empty());
+    }
+}

@@ -1,0 +1,301 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset used by this workspace's property tests: the
+//! `proptest!` macro with `arg in strategy` bindings and an optional
+//! `#![proptest_config(...)]` header, `prop_assert!` / `prop_assert_eq!`,
+//! range strategies over the primitive numeric types, tuple strategies,
+//! and `proptest::collection::vec`.  Cases are sampled from a fixed
+//! per-test seed (derived from the test name), so failures are
+//! reproducible; there is no shrinking.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Everything the `proptest!` macro and its bodies need in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Error type produced by `prop_assert!` failures.
+pub type TestCaseError = String;
+
+/// Per-block configuration (mirror of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to sample per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic generator driving case sampling (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Prng { state: seed }
+    }
+
+    /// Derives the per-test generator from the test's name.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Prng::new(h)
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// A source of values for one `proptest!` binding.
+pub trait Strategy {
+    /// The type of the produced values.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut Prng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Prng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut Prng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        v.min(self.end - (self.end - self.start) * f64::EPSILON)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut Prng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Collection strategies (mirror of `proptest::collection`).
+pub mod collection {
+    use super::{Prng, Range, Strategy};
+
+    /// The permitted size span of a generated collection.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy producing vectors with `size` elements drawn
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut Prng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                lhs,
+                rhs,
+                ::std::stringify!($lhs),
+                ::std::stringify!($rhs)
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` block
+/// becomes a `#[test]` sampling its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::Prng::from_name(::std::stringify!($name));
+            for case in 0..config.cases {
+                $(
+                    let $arg = $crate::Strategy::sample(&($strategy), &mut rng);
+                )+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    ::std::panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        ::std::stringify!($name), case + 1, config.cases, message
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay inside their bounds.
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..9, f in 0.5f64..0.75, b in 0u8..3) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.5..0.75).contains(&f));
+            prop_assert!(b < 3, "b = {}", b);
+        }
+
+        /// Tuple and vec strategies compose.
+        #[test]
+        fn collections_compose(
+            items in crate::collection::vec((0usize..4, 0.0f64..1.0), 1..20),
+            fixed in crate::collection::vec(0u64..100, 5),
+        ) {
+            prop_assert!(!items.is_empty() && items.len() < 20);
+            prop_assert_eq!(fixed.len(), 5);
+            for (i, f) in items {
+                prop_assert!(i < 4 && f < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn prng_is_deterministic_per_name() {
+        let mut a = super::Prng::from_name("x");
+        let mut b = super::Prng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = super::Prng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

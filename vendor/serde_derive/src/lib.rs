@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's `serde` stand-in blanket-implements its marker traits,
+//! so the derives only need to exist for `#[derive(Serialize,
+//! Deserialize)]` attributes to parse — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Derives `serde::Serialize` (no-op: the trait is blanket-implemented).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives `serde::Deserialize` (no-op: the trait is blanket-implemented).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

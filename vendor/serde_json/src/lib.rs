@@ -1,0 +1,243 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides an explicitly constructed, insertion-ordered [`Value`] tree
+//! with compact and pretty rendering.  There is no generic
+//! `Serialize`-driven encoder: callers build the tree by hand (see the
+//! `BENCH_*.json` artefacts written by `mcd-bench`).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+/// A JSON value with insertion-ordered objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A finite float (non-finite values render as `null`).
+    F64(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; keys keep their insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Inserts (or replaces) `key` in an object value; panics on
+    /// non-objects.
+    pub fn insert(&mut self, key: &str, value: impl Into<Value>) -> &mut Value {
+        match self {
+            Value::Object(entries) => {
+                if let Some(slot) = entries.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value.into();
+                } else {
+                    entries.push((key.to_string(), value.into()));
+                }
+            }
+            _ => panic!("insert on a non-object JSON value"),
+        }
+        self
+    }
+
+    /// Looks a key up in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn render(&self, out: &mut String, pretty: bool, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => escape_into(s, out),
+            Value::Array(items) => {
+                render_seq(out, pretty, depth, '[', ']', items.iter(), |v, out, d| {
+                    v.render(out, pretty, d)
+                });
+            }
+            Value::Object(entries) => {
+                render_seq(
+                    out,
+                    pretty,
+                    depth,
+                    '{',
+                    '}',
+                    entries.iter(),
+                    |(k, v), out, d| {
+                        escape_into(k, out);
+                        out.push(':');
+                        if pretty {
+                            out.push(' ');
+                        }
+                        v.render(out, pretty, d);
+                    },
+                );
+            }
+        }
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, true, 0);
+        out
+    }
+}
+
+/// Compact rendering (`value.to_string()` renders one-line JSON).
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.render(&mut out, false, 0);
+        f.write_str(&out)
+    }
+}
+
+fn render_seq<T>(
+    out: &mut String,
+    pretty: bool,
+    depth: usize,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut each: impl FnMut(T, &mut String, usize),
+) {
+    out.push(open);
+    let empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if pretty {
+            out.push('\n');
+            for _ in 0..=depth {
+                out.push_str("  ");
+            }
+        }
+        each(item, out, depth + 1);
+    }
+    if pretty && !empty {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+    out.push(close);
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let mut obj = Value::object();
+        obj.insert("name", "bench \"x\"");
+        obj.insert("count", 3u64);
+        obj.insert("mips", 12.5);
+        obj.insert("items", vec![Value::U64(1), Value::Null]);
+        let compact = obj.to_string();
+        assert_eq!(
+            compact,
+            r#"{"name":"bench \"x\"","count":3,"mips":12.5,"items":[1,null]}"#
+        );
+        let pretty = obj.to_string_pretty();
+        assert!(pretty.contains("\n  \"count\": 3"));
+        assert_eq!(obj.get("count"), Some(&Value::U64(3)));
+    }
+
+    #[test]
+    fn insert_replaces_and_non_finite_floats_render_null() {
+        let mut obj = Value::object();
+        obj.insert("v", 1u64);
+        obj.insert("v", f64::NAN);
+        assert_eq!(obj.to_string(), r#"{"v":null}"#);
+    }
+}
