@@ -138,6 +138,32 @@ fn bench_workload_generation(c: &mut Criterion) {
     });
 }
 
+/// Exports the measurements accumulated by the preceding benches as a
+/// machine-readable artefact (`results/BENCH_kernel_micro.json`), so the
+/// CI bench-smoke job can archive the kernel-throughput trajectory per
+/// commit.  Must be registered last in the criterion group: it drains the
+/// result accumulator.
+fn export_results(c: &mut Criterion) {
+    let results = c.take_results();
+    if results.is_empty() {
+        return;
+    }
+    let mut doc = serde_json::Value::object();
+    doc.insert("experiment", "kernel_micro");
+    let rows: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            let mut row = serde_json::Value::object();
+            row.insert("id", r.id.as_str());
+            row.insert("ns_per_iter", r.ns_per_iter());
+            row.insert("iterations", r.iterations);
+            row
+        })
+        .collect();
+    doc.insert("benches", rows);
+    mcd_bench::write_artifact("BENCH_kernel_micro.json", &doc.to_string_pretty());
+}
+
 criterion_group!(
     benches,
     bench_processor_kernel,
@@ -146,6 +172,7 @@ criterion_group!(
     bench_issue_queue,
     bench_attack_decay_step,
     bench_sync_window,
-    bench_workload_generation
+    bench_workload_generation,
+    export_results
 );
 criterion_main!(benches);

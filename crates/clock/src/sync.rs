@@ -80,10 +80,26 @@ impl SyncWindow {
     }
 
     /// Expected synchronization latency for uniformly distributed source
-    /// event times: half a destination period plus half the window, the
-    /// usual analytical approximation used to sanity-check the simulator.
+    /// event times: half a destination period plus the *full* window, the
+    /// analytical formula used to sanity-check the simulator.
+    ///
+    /// Derivation: let `u` be the gap to the next destination edge,
+    /// uniform on `[0, p)`.  The synchronizer captures at latency `u` when
+    /// `u >= w` and slips a whole destination period (latency `u + p`)
+    /// when `u < w`, which happens with probability `w/p`.  Hence
+    /// `E[latency] = E[u] + (w/p)*p = p/2 + w` — not `p/2 + w/2`: the
+    /// window does not merely shift the capture point by itself, it forces
+    /// a full-period slip whenever the edge lands inside it.
+    ///
+    /// Valid for `window <= period` (with a larger window more than one
+    /// slip could be required, which [`SyncWindow::capture_time`] never
+    /// produces either).
     pub fn expected_latency_ps(&self, dst_period_ps: TimePs) -> f64 {
-        dst_period_ps as f64 / 2.0 + self.window_ps as f64 / 2.0
+        debug_assert!(
+            self.window_ps <= dst_period_ps,
+            "expected-latency formula assumes window <= period"
+        );
+        dst_period_ps as f64 / 2.0 + self.window_ps as f64
     }
 }
 
@@ -160,9 +176,47 @@ mod tests {
     #[test]
     fn expected_latency_formula() {
         let sync = SyncWindow::new(300);
-        assert!((sync.expected_latency_ps(1000) - 650.0).abs() < 1e-9);
+        assert!((sync.expected_latency_ps(1000) - 800.0).abs() < 1e-9);
         let nosync = SyncWindow::new(0);
         assert!((nosync.expected_latency_ps(1000) - 500.0).abs() < 1e-9);
+    }
+
+    /// The regression test that would have caught the historical `w/2`
+    /// error: sweep source times uniformly through [`SyncWindow::capture_time`]
+    /// and compare the empirical mean latency against the analytic formula.
+    ///
+    /// Sweeping every integer source time across whole destination periods
+    /// samples the gap-to-next-edge uniformly and exactly, so the empirical
+    /// mean is `(p-1)/2 + w` — the continuous `p/2 + w` minus half a
+    /// picosecond of discretization.
+    #[test]
+    fn empirical_mean_latency_matches_expected_formula() {
+        for (period, window) in [(1000u64, 300u64), (1000, 0), (2000, 300), (1333, 400)] {
+            let sync = SyncWindow::new(window);
+            let dst_next_edge = 0;
+            let periods = 200u64;
+            let mut total = 0u64;
+            let n = periods * period;
+            for src in 0..n {
+                total += sync.latency_ps(src, dst_next_edge, period);
+            }
+            let mean = total as f64 / n as f64;
+            let expected = sync.expected_latency_ps(period);
+            let discretization = 0.5;
+            assert!(
+                (mean - (expected - discretization)).abs() < 1e-6,
+                "period {period} window {window}: empirical mean {mean}, formula {expected}"
+            );
+            // The old `p/2 + w/2` value is far outside any tolerance for
+            // non-zero windows.
+            if window > 0 {
+                let old_wrong = period as f64 / 2.0 + window as f64 / 2.0;
+                assert!(
+                    (mean - old_wrong).abs() > window as f64 / 2.0 - 1.0,
+                    "the sweep must reject the historical w/2 formula"
+                );
+            }
+        }
     }
 
     #[test]

@@ -722,9 +722,18 @@ mod tests {
         // return SimResults bit-identical to the serial path (same
         // elapsed_ps, chip energy, per-domain frequency averages; host
         // throughput is excluded from SimResult equality by design).
+        //
+        // Mcf is included on top of the tiny suite because its long memory
+        // stalls leave the issue queues and LSQ with nothing newly visible
+        // for long stretches — the earliest-visible-timestamp fast path of
+        // the wakeup scans — while the Attack/Decay and oracle
+        // configurations exercise visibility promotion across frequency
+        // ramps.
         let mut serial = tiny_settings();
+        serial.benchmarks.push(Benchmark::Mcf);
         serial.parallel = false;
-        let parallel = tiny_settings().with_jobs(4);
+        let mut parallel = tiny_settings().with_jobs(4);
+        parallel.benchmarks.push(Benchmark::Mcf);
         let a = run_suite(&serial);
         let b = run_suite(&parallel);
         assert_eq!(a.len(), b.len());

@@ -46,10 +46,36 @@ pub enum LsqIssue {
 }
 
 /// A bounded, program-ordered load/store queue.
+///
+/// Entries are kept in program order (ascending sequence number), which the
+/// memory-disambiguation scan relies on.  On top of that order the queue
+/// maintains a *visible prefix*: the first [`visible_len`](Self) entries are
+/// known visible at the watermark (the largest time passed to
+/// [`LoadStoreQueue::refresh_visible`]), and `earliest_pending_ps` caches
+/// the minimum visibility time of the remaining suffix.  Dispatch times are
+/// monotone in program order, so visibility times almost always are too and
+/// the visible set *is* a prefix; the per-cycle scans then walk only that
+/// prefix and skip the suffix with a single comparison.  In the rare
+/// non-monotone case (a frequency ramp shortening destination periods can
+/// make a younger entry visible before an older one) the suffix comparison
+/// fails and the affected operations fall back to the historical full scan,
+/// preserving exact simulation behaviour.
 #[derive(Debug, Clone)]
 pub struct LoadStoreQueue {
     capacity: usize,
     entries: Vec<LsqEntry>,
+    /// Number of leading entries known visible at the watermark.
+    visible_len: usize,
+    /// Conservative lower bound on the minimum `visible_at_ps` over
+    /// `entries[visible_len..]` (`u64::MAX` when known-empty): the earliest
+    /// time at which the visible prefix can grow.  Maintained lazily —
+    /// removal may leave it stale-low, which only costs one no-op refresh
+    /// pass (which re-derives it exactly), never a missed promotion.
+    earliest_pending_ps: u64,
+    /// Largest `now_ps` ever passed to a visibility query (debug-only
+    /// monotonicity guard).
+    #[cfg(debug_assertions)]
+    watermark_ps: u64,
     occupancy_accumulator: u64,
     accumulated_cycles: u64,
 }
@@ -65,6 +91,10 @@ impl LoadStoreQueue {
         LoadStoreQueue {
             capacity,
             entries: Vec::with_capacity(capacity),
+            visible_len: 0,
+            earliest_pending_ps: u64::MAX,
+            #[cfg(debug_assertions)]
+            watermark_ps: 0,
             occupancy_accumulator: 0,
             accumulated_cycles: 0,
         }
@@ -120,16 +150,25 @@ impl LoadStoreQueue {
             issued: false,
             completed: false,
         });
+        self.earliest_pending_ps = self.earliest_pending_ps.min(visible_at_ps);
         Ok(())
     }
 
+    /// Index of `seq` (entries are program-ordered, so a binary search
+    /// suffices).
+    fn position(&self, seq: SeqNum) -> Option<usize> {
+        self.entries.binary_search_by_key(&seq, |e| e.seq).ok()
+    }
+
     fn find_mut(&mut self, seq: SeqNum) -> Option<&mut LsqEntry> {
-        self.entries.iter_mut().find(|e| e.seq == seq)
+        let pos = self.position(seq)?;
+        Some(&mut self.entries[pos])
     }
 
     /// Looks up an entry.
     pub fn get(&self, seq: SeqNum) -> Option<&LsqEntry> {
-        self.entries.iter().find(|e| e.seq == seq)
+        let pos = self.position(seq)?;
+        Some(&self.entries[pos])
     }
 
     /// Marks an entry's operands (address and store data) as ready.
@@ -164,12 +203,60 @@ impl LoadStoreQueue {
 
     /// Removes an entry (loads at completion, stores at commit).
     pub fn remove(&mut self, seq: SeqNum) -> bool {
-        if let Some(pos) = self.entries.iter().position(|e| e.seq == seq) {
-            self.entries.remove(pos);
-            true
-        } else {
-            false
+        let Some(pos) = self.position(seq) else {
+            return false;
+        };
+        self.entries.remove(pos);
+        if pos < self.visible_len {
+            self.visible_len -= 1;
         }
+        // A suffix removal may leave `earliest_pending_ps` stale-low; that
+        // is a conservative bound (costs one no-op refresh pass, which
+        // re-derives it exactly), so no O(n) minimum recomputation here.
+        true
+    }
+
+    fn recompute_earliest_pending(&mut self) {
+        self.earliest_pending_ps = self.entries[self.visible_len..]
+            .iter()
+            .map(|e| e.visible_at_ps)
+            .min()
+            .unwrap_or(u64::MAX);
+    }
+
+    /// Extends the visible prefix with every leading suffix entry visible
+    /// at `now_ps`.  A no-op (one comparison) unless `now_ps` has reached
+    /// the earliest pending visibility time.  After this call,
+    /// `earliest_pending_ps <= now_ps` iff visibility times are locally
+    /// non-monotone (a visible entry is gapped behind a not-yet-visible
+    /// one); the scans below then fall back to the historical full filter.
+    ///
+    /// `now_ps` values must be non-decreasing across calls (domain time is
+    /// monotone); asserted in debug builds.
+    #[inline]
+    pub fn refresh_visible(&mut self, now_ps: u64) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                now_ps >= self.watermark_ps,
+                "visibility queries must use non-decreasing times"
+            );
+            self.watermark_ps = now_ps;
+        }
+        if now_ps < self.earliest_pending_ps {
+            return;
+        }
+        while self.visible_len < self.entries.len()
+            && self.entries[self.visible_len].visible_at_ps <= now_ps
+        {
+            self.visible_len += 1;
+        }
+        self.recompute_earliest_pending();
+    }
+
+    /// Number of leading entries known visible at the watermark.
+    pub fn visible_len(&self) -> usize {
+        self.visible_len
     }
 
     /// Decides whether the load `seq` may issue, considering all older
@@ -212,31 +299,62 @@ impl LoadStoreQueue {
 
     /// Appends the sequence numbers of entries that are visible, ready and
     /// not yet issued at `now_ps` to `out`, oldest first, without
-    /// allocating (the queue is maintained in program order).
-    pub fn issue_candidates_into(&self, now_ps: u64, out: &mut Vec<SeqNum>) {
+    /// allocating.  Scans only the visible prefix; the suffix is skipped
+    /// with one comparison unless visibility times are non-monotone, in
+    /// which case it is filtered the historical way (suffix entries are
+    /// younger than every prefix entry, so the output stays oldest-first).
+    pub fn issue_candidates_into(&mut self, now_ps: u64, out: &mut Vec<SeqNum>) {
+        self.refresh_visible(now_ps);
         out.extend(
-            self.entries
+            self.entries[..self.visible_len]
                 .iter()
-                .filter(|e| e.visible_at_ps <= now_ps && e.operands_ready && !e.issued)
+                .filter(|e| e.operands_ready && !e.issued)
                 .map(|e| e.seq),
         );
+        if self.earliest_pending_ps <= now_ps {
+            // Gapped visible entries behind a not-yet-visible one.
+            out.extend(
+                self.entries[self.visible_len..]
+                    .iter()
+                    .filter(|e| e.visible_at_ps <= now_ps && e.operands_ready && !e.issued)
+                    .map(|e| e.seq),
+            );
+        }
     }
 
     /// Sequence numbers of entries that are visible, ready and not yet
     /// issued at `now_ps`, oldest first (allocating convenience wrapper
     /// around [`LoadStoreQueue::issue_candidates_into`]).
-    pub fn issue_candidates(&self, now_ps: u64) -> Vec<SeqNum> {
+    pub fn issue_candidates(&mut self, now_ps: u64) -> Vec<SeqNum> {
         let mut v = Vec::new();
         self.issue_candidates_into(now_ps, &mut v);
         v
     }
 
-    /// Applies `ready` to every entry whose operands are not yet known and
-    /// marks those for which it returns `true`.  This lets the simulator
-    /// update address readiness in one in-place pass instead of collecting
-    /// sequence numbers and re-finding each entry with a linear scan.
-    pub fn update_operand_readiness(&mut self, mut ready: impl FnMut(&LsqEntry) -> bool) {
-        for e in &mut self.entries {
+    /// Applies `ready` to entries whose operands are not yet known and
+    /// marks those for which it returns `true`, in one in-place pass.
+    ///
+    /// Only the visible prefix is scanned: readiness is consumed by the
+    /// issue-candidate filter (visible entries only) and by the
+    /// disambiguation scan over *older* stores of a visible load, which
+    /// program order places in the prefix too.  Because the simulator's
+    /// readiness predicate is monotone in time (a producer, once visible,
+    /// stays visible), evaluating it the cycle an entry enters the prefix
+    /// latches exactly the value the historical every-entry scan latched.
+    /// If visibility times are non-monotone the suffix is scanned as well,
+    /// restoring the historical behaviour verbatim.
+    pub fn update_operand_readiness(
+        &mut self,
+        now_ps: u64,
+        mut ready: impl FnMut(&LsqEntry) -> bool,
+    ) {
+        self.refresh_visible(now_ps);
+        let scan_to = if self.earliest_pending_ps <= now_ps {
+            self.entries.len()
+        } else {
+            self.visible_len
+        };
+        for e in &mut self.entries[..scan_to] {
             if !e.operands_ready && ready(e) {
                 e.operands_ready = true;
             }

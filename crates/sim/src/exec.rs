@@ -25,12 +25,19 @@ impl McdProcessor {
         } else {
             self.config.arch.fp_issue_width
         };
-        // Reusable scratch buffer: no per-cycle allocation.
+        // Reusable scratch buffer: no per-cycle allocation.  The issue
+        // queue maintains its visible partition incrementally, so the
+        // historical full visibility scan collapses to a promotion check
+        // plus a copy of the already-visible prefix.
         let mut candidates = std::mem::take(&mut self.scratch_seqs);
-        if domain == DomainId::Integer {
-            self.int_iq.visible_into(now, &mut candidates);
-        } else {
-            self.fp_iq.visible_into(now, &mut candidates);
+        {
+            let iq = if domain == DomainId::Integer {
+                &mut self.int_iq
+            } else {
+                &mut self.fp_iq
+            };
+            iq.refresh_visible(now);
+            candidates.extend_from_slice(iq.visible());
         }
 
         let mut issued = 0usize;
@@ -41,13 +48,11 @@ impl McdProcessor {
             if !self.inflight.operands_ready(seq, domain, now) {
                 continue;
             }
-            let (op, latency_cycles) = {
-                let fl = self
-                    .inflight
-                    .get(seq)
-                    .expect("issue candidate is in flight");
-                (fl.inst.op, fl.inst.op.latency())
-            };
+            let op = self
+                .inflight
+                .op_of(seq)
+                .expect("issue candidate is in flight");
+            let latency_cycles = op.latency();
             let fu_kind = FuKind::for_exec_class(op.exec_class()).unwrap_or(FuKind::IntAlu);
             // Completion and functional-unit occupancy are scheduled half a
             // period early so that per-edge jitter can never push the
@@ -82,9 +87,7 @@ impl McdProcessor {
                 self.energy.record_access(Structure::FpRegFile, 2, voltage);
                 self.energy.record_access(Structure::FpAlu, 1, voltage);
             }
-            if let Some(fl) = self.inflight.get_mut(seq) {
-                fl.issued = true;
-            }
+            self.inflight.mark_issued(seq);
             self.completions.push(domain, now + latency_ps.max(1), seq);
             issued += 1;
         }
@@ -132,22 +135,20 @@ impl McdProcessor {
 
     pub(crate) fn writeback(&mut self, seq: SeqNum, t: TimePs, domain: DomainId) {
         let visible = self.visibility_vector(t, domain);
-        let (is_branch, mispredicted, pc, op, prediction, branch_info, is_load) = {
-            let Some(fl) = self.inflight.get_mut(seq) else {
-                return;
-            };
-            fl.completed = true;
-            fl.visible_at = visible;
-            (
-                fl.inst.is_branch(),
-                fl.mispredicted,
-                fl.inst.pc,
-                fl.inst.op,
-                fl.prediction,
-                fl.inst.branch,
-                fl.inst.is_load(),
-            )
+        // Completion flips the hot flags; the returned cold payload carries
+        // everything branch resolution needs.
+        let Some(cold) = self.inflight.complete(seq, visible) else {
+            return;
         };
+        let (is_branch, mispredicted, pc, op, prediction, branch_info, is_load) = (
+            cold.inst.is_branch(),
+            cold.mispredicted,
+            cold.inst.pc,
+            cold.inst.op,
+            cold.prediction,
+            cold.inst.branch,
+            cold.inst.is_load(),
+        );
         // Completion report to the ROB (front-end domain).
         let fe_visible = visible[DomainId::FrontEnd.index()];
         self.rob.mark_completed(seq, fe_visible);

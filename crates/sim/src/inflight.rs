@@ -1,12 +1,12 @@
 //! Dense, ROB-indexed storage for in-flight instruction state.
 //!
-//! The simulator tracks one [`InFlight`] record per dispatched-but-not-yet
-//! retired instruction.  Records are created at dispatch (together with the
-//! ROB entry) and destroyed at retire, so at most `rob_size` of them are
-//! ever live, and — because sequence numbers are assigned consecutively in
+//! The simulator tracks one record per dispatched-but-not-yet-retired
+//! instruction.  Records are created at dispatch (together with the ROB
+//! entry) and destroyed at retire, so at most `rob_size` of them are ever
+//! live, and — because sequence numbers are assigned consecutively in
 //! program order — the live window spans at most `rob_size` consecutive
-//! sequence numbers.  That makes `seq % rob_size` a perfect slot index:
-//! no two live instructions can collide.
+//! sequence numbers.  That makes `seq % rob_size` a perfect slot index: no
+//! two live instructions can collide.
 //!
 //! [`InFlightTable`] exploits this to replace the historical
 //! `HashMap<SeqNum, InFlight>` with a flat slab.  Every lookup — and the
@@ -16,13 +16,26 @@
 //! producers correctly return `None` instead of aliasing a newer
 //! instruction that reuses the slot after the sequence space wraps past the
 //! table capacity.
+//!
+//! The slab is laid out structure-of-arrays: the wakeup loop's working set
+//! — generation tag, operation class, completed/issued flags, producer
+//! list and per-domain visibility times — lives in a dense [`HotSlot`]
+//! array, while the full [`DynInst`] payload and the branch-prediction
+//! bookkeeping (read once per instruction, at writeback and retire) live in
+//! a parallel cold array.  A readiness probe therefore touches one compact
+//! slot per candidate and per producer instead of dragging the ~3x larger
+//! instruction record through the cache on every wakeup scan.
 
 use mcd_clock::TimePs;
-use mcd_isa::{DynInst, SeqNum};
+use mcd_isa::{DynInst, OpClass, SeqNum};
 use mcd_microarch::Prediction;
 
 /// Maximum number of register sources of a [`DynInst`].
 const MAX_SOURCES: usize = 3;
+
+/// Generation-tag sentinel marking an unoccupied slot (sequence numbers
+/// are assigned from zero and a simulation never reaches `u64::MAX`).
+const EMPTY: SeqNum = SeqNum::MAX;
 
 /// The producers of an instruction's source operands, inline (the
 /// historical `Vec<SeqNum>` allocated on every dispatch).
@@ -48,7 +61,9 @@ impl Producers {
     }
 }
 
-/// Book-keeping for one in-flight instruction.
+/// Book-keeping for one in-flight instruction, as assembled at dispatch
+/// and returned at retire.  Internally the table stores these fields split
+/// across the hot and cold arrays.
 #[derive(Debug, Clone)]
 pub(crate) struct InFlight {
     pub(crate) inst: DynInst,
@@ -67,10 +82,56 @@ pub(crate) struct InFlight {
     pub(crate) mispredicted: bool,
 }
 
-/// Slab of in-flight instructions indexed by `seq % capacity`.
+/// The wakeup loop's per-instruction working set: everything the
+/// readiness/issue scans read, nothing they don't.
+#[derive(Debug, Clone, Copy)]
+struct HotSlot {
+    /// Generation tag: the live occupant's sequence number, or [`EMPTY`].
+    seq: SeqNum,
+    /// Operation class (issue needs it for functional-unit selection and
+    /// latency without touching the cold payload).
+    op: OpClass,
+    /// Whether execution finished.
+    completed: bool,
+    /// Whether the instruction has been issued to a functional unit.
+    issued: bool,
+    /// Producers of this instruction's source operands.
+    producers: Producers,
+    /// Per-domain result visibility times, valid once `completed`.
+    visible_at: [TimePs; 5],
+}
+
+impl HotSlot {
+    fn empty() -> Self {
+        HotSlot {
+            seq: EMPTY,
+            op: OpClass::Nop,
+            completed: false,
+            issued: false,
+            producers: Producers::default(),
+            visible_at: [0; 5],
+        }
+    }
+}
+
+/// The cold per-instruction payload: read at writeback (branch resolution)
+/// and retire (register release, store commit), never in the wakeup scans.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ColdInfo {
+    /// The dynamic instruction record.
+    pub(crate) inst: DynInst,
+    /// Fetch-time branch prediction (branches only).
+    pub(crate) prediction: Option<Prediction>,
+    /// Whether the branch was mispredicted (direction or target).
+    pub(crate) mispredicted: bool,
+}
+
+/// Slab of in-flight instructions indexed by `seq % capacity`, split into
+/// hot (wakeup) and cold (writeback/retire) parallel arrays.
 #[derive(Debug)]
 pub(crate) struct InFlightTable {
-    slots: Box<[Option<InFlight>]>,
+    hot: Box<[HotSlot]>,
+    cold: Box<[Option<ColdInfo>]>,
     live: usize,
 }
 
@@ -79,14 +140,15 @@ impl InFlightTable {
     pub(crate) fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "in-flight capacity must be positive");
         InFlightTable {
-            slots: vec![None; capacity].into_boxed_slice(),
+            hot: vec![HotSlot::empty(); capacity].into_boxed_slice(),
+            cold: vec![None; capacity].into_boxed_slice(),
             live: 0,
         }
     }
 
     #[inline]
     fn slot_of(&self, seq: SeqNum) -> usize {
-        (seq % self.slots.len() as u64) as usize
+        (seq % self.hot.len() as u64) as usize
     }
 
     /// Number of live entries.
@@ -111,46 +173,75 @@ impl InFlightTable {
     pub(crate) fn insert(&mut self, entry: InFlight) {
         let seq = entry.inst.seq;
         let slot = self.slot_of(seq);
-        let prev = self.slots[slot].replace(entry);
         assert!(
-            prev.is_none(),
+            self.hot[slot].seq == EMPTY,
             "in-flight slot collision: seq {} would alias a live instruction",
             seq
         );
+        self.hot[slot] = HotSlot {
+            seq,
+            op: entry.inst.op,
+            completed: entry.completed,
+            issued: entry.issued,
+            producers: entry.producers,
+            visible_at: entry.visible_at,
+        };
+        self.cold[slot] = Some(ColdInfo {
+            inst: entry.inst,
+            prediction: entry.prediction,
+            mispredicted: entry.mispredicted,
+        });
         self.live += 1;
     }
 
-    /// Looks up a live instruction.  Queries for retired (or never
-    /// dispatched) sequence numbers return `None` thanks to the generation
-    /// check, even after the sequence space wraps past the capacity.
+    /// The operation class of a live instruction (generation-checked).
     #[inline]
-    pub(crate) fn get(&self, seq: SeqNum) -> Option<&InFlight> {
-        match &self.slots[self.slot_of(seq)] {
-            Some(e) if e.inst.seq == seq => Some(e),
-            _ => None,
+    pub(crate) fn op_of(&self, seq: SeqNum) -> Option<OpClass> {
+        let slot = &self.hot[self.slot_of(seq)];
+        (slot.seq == seq).then_some(slot.op)
+    }
+
+    /// Marks a live instruction as issued to a functional unit.
+    #[inline]
+    pub(crate) fn mark_issued(&mut self, seq: SeqNum) {
+        let slot = self.slot_of(seq);
+        if self.hot[slot].seq == seq {
+            self.hot[slot].issued = true;
         }
     }
 
-    /// Mutable lookup with the same generation check as [`Self::get`].
+    /// Marks a live instruction's execution as finished with the given
+    /// per-domain visibility times, returning the cold payload the
+    /// writeback logic needs (`None` for retired/unknown sequence numbers).
     #[inline]
-    pub(crate) fn get_mut(&mut self, seq: SeqNum) -> Option<&mut InFlight> {
+    pub(crate) fn complete(&mut self, seq: SeqNum, visible_at: [TimePs; 5]) -> Option<ColdInfo> {
         let slot = self.slot_of(seq);
-        match &mut self.slots[slot] {
-            Some(e) if e.inst.seq == seq => Some(e),
-            _ => None,
+        if self.hot[slot].seq != seq {
+            return None;
         }
+        self.hot[slot].completed = true;
+        self.hot[slot].visible_at = visible_at;
+        self.cold[slot]
     }
 
     /// Removes and returns an entry (at retire).
     pub(crate) fn remove(&mut self, seq: SeqNum) -> Option<InFlight> {
         let slot = self.slot_of(seq);
-        match &self.slots[slot] {
-            Some(e) if e.inst.seq == seq => {
-                self.live -= 1;
-                self.slots[slot].take()
-            }
-            _ => None,
+        if self.hot[slot].seq != seq {
+            return None;
         }
+        let hot = std::mem::replace(&mut self.hot[slot], HotSlot::empty());
+        let cold = self.cold[slot].take().expect("hot and cold slots in sync");
+        self.live -= 1;
+        Some(InFlight {
+            inst: cold.inst,
+            producers: hot.producers,
+            completed: hot.completed,
+            visible_at: hot.visible_at,
+            issued: hot.issued,
+            prediction: cold.prediction,
+            mispredicted: cold.mispredicted,
+        })
     }
 
     /// Whether the producer `seq` has a result visible in `domain` at
@@ -163,10 +254,11 @@ impl InFlightTable {
         domain: mcd_clock::DomainId,
         now: TimePs,
     ) -> bool {
-        match self.get(seq) {
-            None => true,
-            Some(p) => p.completed && p.visible_at[domain.index()] <= now,
+        let slot = &self.hot[self.slot_of(seq)];
+        if slot.seq != seq {
+            return true;
         }
+        slot.completed && slot.visible_at[domain.index()] <= now
     }
 
     /// Whether every producer of `seq` is visible in `domain` at `now`.
@@ -177,11 +269,11 @@ impl InFlightTable {
         domain: mcd_clock::DomainId,
         now: TimePs,
     ) -> bool {
-        let Some(entry) = self.get(seq) else {
+        let slot = &self.hot[self.slot_of(seq)];
+        if slot.seq != seq {
             return false;
-        };
-        entry
-            .producers
+        }
+        slot.producers
             .iter()
             .all(|p| self.producer_ready(p, domain, now))
     }
@@ -210,13 +302,28 @@ mod tests {
         assert!(t.is_empty());
         t.insert(entry(3));
         assert_eq!(t.len(), 1);
-        assert_eq!(t.get(3).unwrap().inst.seq, 3);
-        assert!(t.get_mut(3).is_some());
-        assert!(t.get(4).is_none());
+        assert_eq!(t.op_of(3), Some(OpClass::IntAlu));
+        assert_eq!(t.op_of(4), None);
         let removed = t.remove(3).unwrap();
         assert_eq!(removed.inst.seq, 3);
         assert!(t.remove(3).is_none());
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn hot_and_cold_state_round_trips_through_the_split_arrays() {
+        let mut t = InFlightTable::new(8);
+        t.insert(entry(5));
+        t.mark_issued(5);
+        let cold = t.complete(5, [10, 20, 30, 40, 50]).unwrap();
+        assert_eq!(cold.inst.seq, 5);
+        assert!(!cold.mispredicted);
+        // Completion with visibility makes the producer ready per domain.
+        assert!(t.producer_ready(5, mcd_clock::DomainId::Integer, 20));
+        assert!(!t.producer_ready(5, mcd_clock::DomainId::LoadStore, 20));
+        let back = t.remove(5).unwrap();
+        assert!(back.issued && back.completed);
+        assert_eq!(back.visible_at, [10, 20, 30, 40, 50]);
     }
 
     #[test]
@@ -230,11 +337,16 @@ mod tests {
         // seq 5 retires; seq 5 + capacity lands in the same slot.
         t.remove(5).unwrap();
         t.insert(entry(5 + capacity));
-        assert!(t.get(5).is_none(), "stale seq 5 must not alias seq 13");
-        assert_eq!(t.get(5 + capacity).unwrap().inst.seq, 5 + capacity);
+        assert!(t.op_of(5).is_none(), "stale seq 5 must not alias seq 13");
+        assert_eq!(t.op_of(5 + capacity), Some(OpClass::IntAlu));
         // A retired producer reads as ready; the live one does not.
         assert!(t.producer_ready(5, mcd_clock::DomainId::Integer, 0));
         assert!(!t.producer_ready(5 + capacity, mcd_clock::DomainId::Integer, 0));
+        // Mutators on the stale seq must not touch the new occupant.
+        t.mark_issued(5);
+        assert!(t.complete(5, [1; 5]).is_none());
+        let live = t.remove(5 + capacity).unwrap();
+        assert!(!live.issued && !live.completed);
     }
 
     #[test]

@@ -17,10 +17,11 @@ impl McdProcessor {
 
         // ---- Address-readiness update ----
         // The closure borrows only the in-flight slab, so the LSQ can be
-        // updated in place without collecting sequence numbers first.
+        // updated in place without collecting sequence numbers first; the
+        // LSQ itself bounds the pass to its visible prefix.
         let inflight = &self.inflight;
         self.lsq
-            .update_operand_readiness(|e| inflight.operands_ready(e.seq, domain, now));
+            .update_operand_readiness(now, |e| inflight.operands_ready(e.seq, domain, now));
 
         // ---- Issue memory operations ----
         let mut candidates = std::mem::take(&mut self.scratch_seqs);
@@ -63,9 +64,7 @@ impl McdProcessor {
             };
             if let Some(done_at) = completion {
                 self.lsq.mark_issued(seq);
-                if let Some(fl) = self.inflight.get_mut(seq) {
-                    fl.issued = true;
-                }
+                self.inflight.mark_issued(seq);
                 self.completions.push(domain, done_at, seq);
                 issued += 1;
             }

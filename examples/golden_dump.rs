@@ -1,0 +1,80 @@
+//! Bit-identity harness: dumps every determinism-relevant `SimResult`
+//! field (committed instructions, cycles, energy to full precision,
+//! per-domain average frequencies and the interval frequency trace) for a
+//! grid of benchmark × configuration runs with fixed seeds.
+//!
+//! Kernel optimizations in this repository are required to leave
+//! simulation *behaviour* untouched; capture this output before a change
+//! and `diff` it after:
+//!
+//! ```sh
+//! cargo run --release --example golden_dump > before.txt
+//! # ... hack on the kernel ...
+//! cargo run --release --example golden_dump > after.txt && diff before.txt after.txt
+//! ```
+
+use mcd::clock::OperatingPointTable;
+use mcd::control::{
+    AttackDecayController, AttackDecayParams, FixedController, FrequencyController,
+};
+use mcd::sim::{McdProcessor, SimConfig};
+use mcd::workloads::{Benchmark, WorkloadGenerator};
+
+fn dump(
+    name: &str,
+    bench: Benchmark,
+    insts: u64,
+    cfg: SimConfig,
+    ctrl: Box<dyn FrequencyController>,
+) {
+    let stream = WorkloadGenerator::new(&bench.spec(), 42, insts);
+    let mut cpu = McdProcessor::new(cfg, ctrl);
+    let r = cpu.run(stream);
+    println!(
+        "{name}: committed={} fe_cycles={} elapsed_ps={} energy={:?} mem={} redirects={} freqs={:?}",
+        r.committed_instructions,
+        r.frontend_cycles,
+        r.elapsed_ps,
+        r.chip_energy(),
+        r.memory_accesses,
+        r.mispredict_redirects,
+        r.avg_domain_freq_mhz,
+    );
+    for iv in &r.intervals {
+        println!(
+            "  interval {} committed={} ipc={:?} freqs={:?}",
+            iv.interval,
+            iv.committed,
+            iv.ipc,
+            iv.domains.iter().map(|d| d.freq_mhz).collect::<Vec<_>>()
+        );
+    }
+}
+
+fn main() {
+    for (name, b) in [
+        ("gzip", Benchmark::Gzip),
+        ("swim", Benchmark::Swim),
+        ("mcf", Benchmark::Mcf),
+    ] {
+        dump(
+            name,
+            b,
+            20_000,
+            SimConfig::baseline_mcd(20_000),
+            Box::new(FixedController::at_max()),
+        );
+        dump(
+            &format!("{name}_sync"),
+            b,
+            20_000,
+            SimConfig::fully_synchronous(20_000),
+            Box::new(FixedController::at_max()),
+        );
+        let mut cfg = SimConfig::baseline_mcd(60_000);
+        cfg.record_traces = true;
+        let table = OperatingPointTable::from_params(&cfg.clock);
+        let ctrl = AttackDecayController::new(AttackDecayParams::paper_defaults(), &table);
+        dump(&format!("{name}_ad"), b, 60_000, cfg, Box::new(ctrl));
+    }
+}

@@ -53,6 +53,41 @@ proptest! {
         }
     }
 
+    /// Monte-Carlo check of the expected-latency formula: sweeping source
+    /// times uniformly across whole destination periods samples the
+    /// gap-to-next-edge distribution exactly, so the empirical mean latency
+    /// must equal `period/2 + window` up to half a picosecond of
+    /// discretization — for *any* window up to a full period.  (This is the
+    /// regression test for the historical `period/2 + window/2` bug, which
+    /// under-counted the full-period slip the window forces with
+    /// probability `window/period`.)
+    #[test]
+    fn empirical_sync_latency_mean_matches_formula(
+        edge in 0u64..10_000,
+        period in 1_000u64..3_000,
+        window_frac in 0.0f64..1.0,
+    ) {
+        let window = ((period as f64 * window_frac) as u64).min(period);
+        let sync = SyncWindow::new(window);
+        let periods = 20u64;
+        let n = periods * period;
+        let mut total = 0u64;
+        // Start the sweep at the recorded destination edge so every source
+        // time exercises the extrapolation path and the gap to the next
+        // edge cycles through all `period` residues exactly `periods`
+        // times.
+        for src in edge..edge + n {
+            total += sync.capture_time(src, edge, period) - src;
+        }
+        let mean = total as f64 / n as f64;
+        let expected = sync.expected_latency_ps(period);
+        prop_assert!(
+            (mean - (expected - 0.5)).abs() < 1e-6,
+            "period {} window {}: empirical mean {} vs formula {}",
+            period, window, mean, expected
+        );
+    }
+
     /// The Attack/Decay controller keeps every commanded frequency inside
     /// the operating range for arbitrary utilization/IPC sequences.
     #[test]
