@@ -68,7 +68,7 @@ fn bench_issue_queue(c: &mut Criterion) {
         b.iter(|| {
             let mut q = IssueQueue::new(20);
             for i in 0..1_000u64 {
-                let _ = q.insert(i, 0);
+                let _ = q.insert(i);
                 q.accumulate_occupancy();
                 if i >= 19 {
                     q.remove(i - 19);

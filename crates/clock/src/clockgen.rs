@@ -33,7 +33,7 @@ const JITTER_BATCH: usize = 64;
 /// The per-edge hot path historically drew one Box–Muller pair at a time
 /// through an `Option<f64>` spare cache; the transform's `ln`/`sqrt`/
 /// `sin`/`cos` calls and the spare-branch showed up in kernel profiles.
-/// Samples are now generated [`JITTER_BATCH`] at a time into a refill
+/// Samples are now generated in batches of 64 (`JITTER_BATCH`) into a refill
 /// buffer, keeping the transcendental math in one tight loop and reducing
 /// the per-edge cost to a buffered load plus one scale/clamp.  The
 /// variates come off the PRNG in exactly the historical order (cosine

@@ -7,30 +7,17 @@
 //! Attack/Decay algorithm (paper Section 3), so the queue exposes its
 //! occupancy explicitly.
 //!
-//! Entries become *visible* to the issue logic only after the inter-domain
-//! synchronization delay of the dispatch crossing.  Because the owning
-//! domain re-walks its queue on every one of its clock edges, the queue
-//! keeps entries partitioned by visibility instead of storing a flat list
-//! that each cycle re-filters:
-//!
-//! * a **visible partition** — sequence numbers already visible at the
-//!   *watermark* (the largest time ever passed to
-//!   [`IssueQueue::refresh_visible`]), sorted oldest first, which the issue
-//!   logic can iterate directly; and
-//! * a **pending partition** — `(seq, visible_at)` pairs not yet promoted,
-//!   together with an incrementally maintained *earliest-visible
-//!   timestamp* (the minimum `visible_at` over the pending entries).
-//!
-//! The per-cycle wakeup scan then costs a single comparison against the
-//! earliest-visible timestamp when nothing new became visible — the common
-//! case, since dispatch crossings arrive at most a few entries per domain
-//! cycle — and promotion work proportional to the pending partition
-//! otherwise.  The historical layout re-examined every entry's timestamp
-//! on every cycle.
-//!
-//! Visibility queries must use non-decreasing `now_ps` values (domain time
-//! is monotone), which is what makes the watermark sound; this is asserted
-//! in debug builds.
+//! The queue models the structure's *capacity* (dispatch stalls when it is
+//! full) and its occupancy statistics.  Wakeup and select are event driven
+//! and live in the simulator: when an entry's dispatch crossing and
+//! producer results are all visible to the owning domain, the simulator's
+//! wakeup queues present it to the issue logic directly, so this structure
+//! is never scanned on the per-cycle path — entries are inserted at
+//! dispatch, removed at issue, and counted once per cycle for the
+//! Attack/Decay utilization signal.  (Historically the queue also tracked
+//! per-entry visibility times behind a visible/pending partition that the
+//! issue loop walked and re-probed every cycle; event-driven wakeup made
+//! that machinery redundant.)
 
 use mcd_isa::SeqNum;
 
@@ -38,23 +25,8 @@ use mcd_isa::SeqNum;
 #[derive(Debug, Clone)]
 pub struct IssueQueue {
     capacity: usize,
-    /// Sequence numbers visible at the watermark, sorted ascending (oldest
-    /// first).
-    visible: Vec<SeqNum>,
-    /// (sequence number, time at which the entry becomes visible to the
-    /// issue logic of the owning domain), sorted by sequence number; only
-    /// entries not yet promoted to `visible`.
-    pending: Vec<(SeqNum, u64)>,
-    /// Conservative lower bound on the minimum `visible_at` over `pending`
-    /// (`u64::MAX` when known-empty): the earliest time at which a refresh
-    /// can promote anything.  Maintained lazily — removal may leave it
-    /// stale-low, which only costs one no-op promotion pass (which
-    /// recomputes it exactly), never a missed promotion.
-    earliest_pending_ps: u64,
-    /// Largest `now_ps` ever passed to a visibility query (debug-only
-    /// monotonicity guard).
-    #[cfg(debug_assertions)]
-    watermark_ps: u64,
+    /// Sequence numbers of the entries, sorted ascending (oldest first).
+    entries: Vec<SeqNum>,
     /// Cumulative occupancy, incremented by `len()` once per domain cycle
     /// via [`IssueQueue::accumulate_occupancy`].
     occupancy_accumulator: u64,
@@ -73,11 +45,7 @@ impl IssueQueue {
         assert!(capacity > 0, "issue queue capacity must be positive");
         IssueQueue {
             capacity,
-            visible: Vec::with_capacity(capacity),
-            pending: Vec::with_capacity(capacity),
-            earliest_pending_ps: u64::MAX,
-            #[cfg(debug_assertions)]
-            watermark_ps: 0,
+            entries: Vec::with_capacity(capacity),
             occupancy_accumulator: 0,
             accumulated_cycles: 0,
         }
@@ -88,14 +56,14 @@ impl IssueQueue {
         self.capacity
     }
 
-    /// Current number of valid entries (visible and pending).
+    /// Current number of valid entries.
     pub fn len(&self) -> usize {
-        self.visible.len() + self.pending.len()
+        self.entries.len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.visible.is_empty() && self.pending.is_empty()
+        self.entries.is_empty()
     }
 
     /// Whether the queue is full (dispatch must stall).
@@ -103,132 +71,42 @@ impl IssueQueue {
         self.len() >= self.capacity
     }
 
-    /// A conservative lower bound on the earliest time at which an entry
-    /// not yet promoted becomes visible (`u64::MAX` when every entry is
-    /// already visible).  While `now` stays below this,
-    /// [`IssueQueue::refresh_visible`] is a single comparison.  The bound
-    /// can be stale-low after a pending-entry removal; each promotion pass
-    /// re-derives it exactly.
-    pub fn earliest_pending_ps(&self) -> u64 {
-        self.earliest_pending_ps
-    }
-
     /// Inserts a dispatched instruction.
     ///
-    /// Entries are kept sorted by sequence number so that the issue logic
-    /// can walk visible entries oldest-first without sorting.  Dispatch
-    /// happens in program order, so the common case is a plain push; an
-    /// out-of-order insert (only exercised by unit tests) falls back to a
-    /// sorted insertion.
+    /// Entries are kept sorted by sequence number.  Dispatch happens in
+    /// program order, so the common case is a plain push; an out-of-order
+    /// insert (only exercised by unit tests) falls back to a sorted
+    /// insertion.
     ///
     /// # Errors
     ///
     /// Returns `Err(seq)` if the queue is full.
-    pub fn insert(&mut self, seq: SeqNum, visible_at_ps: u64) -> Result<(), SeqNum> {
+    pub fn insert(&mut self, seq: SeqNum) -> Result<(), SeqNum> {
         if self.is_full() {
             return Err(seq);
         }
-        match self.pending.last() {
-            Some(&(last, _)) if last > seq => {
-                let pos = self.pending.partition_point(|&(s, _)| s < seq);
-                self.pending.insert(pos, (seq, visible_at_ps));
+        match self.entries.last() {
+            Some(&last) if last > seq => {
+                let pos = self.entries.partition_point(|&s| s < seq);
+                self.entries.insert(pos, seq);
             }
-            _ => self.pending.push((seq, visible_at_ps)),
+            _ => self.entries.push(seq),
         }
-        self.earliest_pending_ps = self.earliest_pending_ps.min(visible_at_ps);
         Ok(())
     }
 
     /// Removes an entry (at issue time).  Returns `true` if it was present.
     pub fn remove(&mut self, seq: SeqNum) -> bool {
-        // Issue removes visible entries, so search that partition first.
-        if let Ok(pos) = self.visible.binary_search(&seq) {
-            self.visible.remove(pos);
-            return true;
-        }
-        if let Some(pos) = self.pending.iter().position(|&(s, _)| s == seq) {
-            // The earliest-pending bound is left as-is: possibly stale-low,
-            // which the next promotion pass corrects for free.  Recomputing
-            // the minimum here would put an O(pending) scan on every
-            // pending-entry removal.
-            self.pending.remove(pos);
+        if let Ok(pos) = self.entries.binary_search(&seq) {
+            self.entries.remove(pos);
             return true;
         }
         false
     }
 
-    /// Promotes every pending entry visible at `now_ps` into the visible
-    /// partition.  A no-op (one comparison) unless `now_ps` has reached the
-    /// earliest-visible timestamp.
-    ///
-    /// `now_ps` values must be non-decreasing across calls (domain time is
-    /// monotone); asserted in debug builds.
-    #[inline]
-    pub fn refresh_visible(&mut self, now_ps: u64) {
-        #[cfg(debug_assertions)]
-        {
-            debug_assert!(
-                now_ps >= self.watermark_ps,
-                "visibility queries must use non-decreasing times"
-            );
-            self.watermark_ps = now_ps;
-        }
-        if now_ps < self.earliest_pending_ps {
-            return;
-        }
-        self.promote(now_ps);
-    }
-
-    /// The promotion slow path, kept out of line so the per-cycle fast path
-    /// stays a comparison and a call.
-    fn promote(&mut self, now_ps: u64) {
-        let mut kept = 0;
-        let mut earliest = u64::MAX;
-        for i in 0..self.pending.len() {
-            let (seq, t) = self.pending[i];
-            if t <= now_ps {
-                // Both partitions are seq-sorted and dispatch is in program
-                // order, so promoted entries almost always append; the
-                // sorted insertion handles out-of-order visibility times.
-                match self.visible.last() {
-                    Some(&last) if last > seq => {
-                        let pos = self.visible.partition_point(|&s| s < seq);
-                        self.visible.insert(pos, seq);
-                    }
-                    _ => self.visible.push(seq),
-                }
-            } else {
-                self.pending[kept] = (seq, t);
-                kept += 1;
-                earliest = earliest.min(t);
-            }
-        }
-        self.pending.truncate(kept);
-        self.earliest_pending_ps = earliest;
-    }
-
-    /// The entries visible at the watermark, oldest first.  Call
-    /// [`IssueQueue::refresh_visible`] with the current time first.
-    #[inline]
-    pub fn visible(&self) -> &[SeqNum] {
-        &self.visible
-    }
-
-    /// Appends the sequence numbers of entries visible at `now_ps` to
-    /// `out`, oldest first, without allocating.  Promotes pending entries
-    /// first, so `now_ps` values must be non-decreasing across visibility
-    /// queries.
-    pub fn visible_into(&mut self, now_ps: u64, out: &mut Vec<SeqNum>) {
-        self.refresh_visible(now_ps);
-        out.extend_from_slice(&self.visible);
-    }
-
-    /// Iterator over all entries regardless of visibility.
+    /// Iterator over all entries, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = SeqNum> + '_ {
-        self.visible
-            .iter()
-            .copied()
-            .chain(self.pending.iter().map(|&(s, _)| s))
+        self.entries.iter().copied()
     }
 
     /// Adds the current occupancy to the per-interval accumulator.  The
@@ -263,113 +141,38 @@ impl IssueQueue {
 mod tests {
     use super::*;
 
-    fn visible_at(q: &mut IssueQueue, now_ps: u64) -> Vec<SeqNum> {
-        let mut v = Vec::new();
-        q.visible_into(now_ps, &mut v);
-        v
-    }
-
     #[test]
     fn insert_remove_and_capacity() {
         let mut q = IssueQueue::new(3);
         assert_eq!(q.capacity(), 3);
         assert!(q.is_empty());
-        q.insert(1, 0).unwrap();
-        q.insert(2, 0).unwrap();
-        q.insert(3, 0).unwrap();
+        q.insert(1).unwrap();
+        q.insert(2).unwrap();
+        q.insert(3).unwrap();
         assert!(q.is_full());
-        assert_eq!(q.insert(4, 0), Err(4));
+        assert_eq!(q.insert(4), Err(4));
         assert!(q.remove(2));
         assert!(!q.remove(2));
         assert_eq!(q.len(), 2);
-        q.insert(4, 0).unwrap();
+        q.insert(4).unwrap();
         assert!(q.is_full());
     }
 
     #[test]
-    fn visibility_gates_issue() {
+    fn out_of_order_insert_keeps_entries_seq_sorted() {
         let mut q = IssueQueue::new(8);
-        q.insert(10, 1_000).unwrap();
-        q.insert(11, 2_000).unwrap();
-        q.insert(12, 500).unwrap();
-        // Queries use non-decreasing times (domain time is monotone).
-        assert!(visible_at(&mut q, 0).is_empty());
-        assert_eq!(
-            visible_at(&mut q, 1_000),
-            vec![10, 12],
-            "oldest-first among visible entries"
-        );
-        assert_eq!(visible_at(&mut q, 5_000), vec![10, 11, 12]);
-    }
-
-    #[test]
-    fn earliest_pending_timestamp_tracks_promotions_and_inserts() {
-        let mut q = IssueQueue::new(8);
-        assert_eq!(q.earliest_pending_ps(), u64::MAX);
-        q.insert(1, 700).unwrap();
-        q.insert(2, 300).unwrap();
-        assert_eq!(q.earliest_pending_ps(), 300);
-        // Below the earliest-visible timestamp nothing promotes.
-        q.refresh_visible(299);
-        assert!(q.visible().is_empty());
-        assert_eq!(q.earliest_pending_ps(), 300);
-        // Crossing it promotes exactly the due entries and re-derives the
-        // earliest timestamp from the remainder.
-        q.refresh_visible(300);
-        assert_eq!(q.visible(), &[2]);
-        assert_eq!(q.earliest_pending_ps(), 700);
-        q.refresh_visible(700);
-        assert_eq!(q.visible(), &[1, 2]);
-        assert_eq!(q.earliest_pending_ps(), u64::MAX);
-    }
-
-    #[test]
-    fn promotion_merges_in_sequence_order() {
-        // Entry 5 becomes visible *later* than the younger entry 6: the
-        // visible partition must still iterate oldest-first.
-        let mut q = IssueQueue::new(8);
-        q.insert(5, 2_000).unwrap();
-        q.insert(6, 1_000).unwrap();
-        assert_eq!(visible_at(&mut q, 1_000), vec![6]);
-        assert_eq!(visible_at(&mut q, 2_000), vec![5, 6]);
-    }
-
-    #[test]
-    fn remove_searches_both_partitions() {
-        let mut q = IssueQueue::new(8);
-        q.insert(1, 100).unwrap();
-        q.insert(2, 900).unwrap();
-        q.refresh_visible(500); // 1 visible, 2 pending
-        assert!(q.remove(1));
-        assert!(q.remove(2));
-        assert!(q.is_empty());
-    }
-
-    #[test]
-    fn stale_earliest_bound_self_heals_on_promotion() {
-        let mut q = IssueQueue::new(8);
-        q.insert(3, 600).unwrap();
-        q.insert(4, 800).unwrap();
-        assert_eq!(q.earliest_pending_ps(), 600);
-        // Removing the earliest pending entry leaves the bound stale-low —
-        // conservative, never unsafe.
-        assert!(q.remove(3));
-        assert_eq!(q.earliest_pending_ps(), 600);
-        // The next promotion pass promotes nothing (700 < 800) but
-        // re-derives the exact bound.
-        q.refresh_visible(700);
-        assert!(q.visible().is_empty());
-        assert_eq!(q.earliest_pending_ps(), 800);
-        q.refresh_visible(800);
-        assert_eq!(q.visible(), &[4]);
-        assert_eq!(q.earliest_pending_ps(), u64::MAX);
+        q.insert(5).unwrap();
+        q.insert(2).unwrap();
+        q.insert(7).unwrap();
+        let all: Vec<_> = q.iter().collect();
+        assert_eq!(all, vec![2, 5, 7]);
     }
 
     #[test]
     fn occupancy_accumulation_and_reset() {
         let mut q = IssueQueue::new(8);
-        q.insert(1, 0).unwrap();
-        q.insert(2, 0).unwrap();
+        q.insert(1).unwrap();
+        q.insert(2).unwrap();
         for _ in 0..10 {
             q.accumulate_occupancy();
         }
@@ -382,20 +185,10 @@ mod tests {
     }
 
     #[test]
-    fn occupancy_counts_both_partitions() {
-        let mut q = IssueQueue::new(8);
-        q.insert(1, 100).unwrap();
-        q.insert(2, 5_000).unwrap();
-        q.refresh_visible(1_000); // 1 visible, 2 pending
-        q.accumulate_occupancy();
-        assert_eq!(q.occupancy_accumulator(), 2);
-    }
-
-    #[test]
     fn occupancy_never_exceeds_capacity() {
         let mut q = IssueQueue::new(4);
         for s in 0..20 {
-            let _ = q.insert(s, 0);
+            let _ = q.insert(s);
             q.accumulate_occupancy();
             assert!(q.len() <= q.capacity());
         }
@@ -407,16 +200,5 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _ = IssueQueue::new(0);
-    }
-
-    #[test]
-    fn iter_returns_all_entries() {
-        let mut q = IssueQueue::new(4);
-        q.insert(7, 10).unwrap();
-        q.insert(8, 20).unwrap();
-        q.refresh_visible(10); // split entries across the two partitions
-        let mut all: Vec<_> = q.iter().collect();
-        all.sort_unstable();
-        assert_eq!(all, vec![7, 8]);
     }
 }

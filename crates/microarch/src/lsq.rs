@@ -7,9 +7,48 @@
 //! address matches an older store's receives its data by store-to-load
 //! forwarding.  The LSQ's occupancy drives the Attack/Decay controller for
 //! the load/store domain.
+//!
+//! # Per-load older-store summary
+//!
+//! The memory-disambiguation question a load asks — *is there an older
+//! store with an unknown address, and if not, does any older store's
+//! address overlap mine?* — was historically answered by scanning every
+//! older entry, per load, per cycle.  The queue now maintains two summary
+//! structures that answer it in O(1):
+//!
+//! * [`min_unready_store_seq`](LoadStoreQueue::min_unready_store_seq) —
+//!   the sequence
+//!   number of the oldest store whose operands (address/data) are still
+//!   unknown.  A load is blocked by an unknown store address exactly when
+//!   this is smaller than the load's own sequence number.  The minimum
+//!   only falls at insert (program order: a newly inserted store is the
+//!   youngest) and only rises when a store's operands become known, so it
+//!   advances with a forward scan amortized O(1) per store lifetime.
+//! * a **conservative address-match filter** — a 64-bucket counting
+//!   Bloom-style filter over the byte ranges of all stores in the queue,
+//!   at 8-byte granule granularity.  If none of a load's granule buckets
+//!   is occupied, no store in the queue can overlap the load (granule
+//!   sharing is implied by byte overlap), and the load may access the
+//!   cache without any scan.  A hit is only a *maybe* — collisions and
+//!   younger stores also populate buckets — and falls back to the
+//!   historical scan over older stores to pick forwarding or a partial
+//!   overlap block, so decisions are bit-identical to the full scan.
+//!
+//! Operand readiness itself is event driven: the simulator pushes the
+//! exact time an entry's operands become visible to the load/store domain
+//! ([`LoadStoreQueue::set_ready_at`]) when its last producer completes,
+//! and [`LoadStoreQueue::promote_operand_readiness`] latches the ready
+//! flags by comparing those times against the clock — no per-entry
+//! producer probing remains on the per-cycle path.
 
 use mcd_isa::{MemInfo, SeqNum};
 use serde::{Deserialize, Serialize};
+
+/// Number of buckets in the store address-match filter.
+const FILTER_BUCKETS: usize = 64;
+/// Log2 of the filter granule size in bytes (8-byte granules: the widest
+/// access size, so any byte overlap implies a shared granule).
+const FILTER_GRANULE_SHIFT: u64 = 3;
 
 /// State of one memory operation in the LSQ.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -23,6 +62,11 @@ pub struct LsqEntry {
     /// Time at which the entry becomes visible to the load/store domain's
     /// issue logic (after the dispatch synchronization crossing).
     pub visible_at_ps: u64,
+    /// Time at which the address (and, for stores, the data) operands are
+    /// visible to the load/store domain — pushed by the simulator when the
+    /// entry's last producer completes (`u64::MAX` while producers are
+    /// outstanding).
+    pub ready_at_ps: u64,
     /// Whether the address (and, for stores, the data) operands are ready.
     pub operands_ready: bool,
     /// Whether the operation has been issued to the cache (loads) or has
@@ -48,9 +92,9 @@ pub enum LsqIssue {
 /// A bounded, program-ordered load/store queue.
 ///
 /// Entries are kept in program order (ascending sequence number), which the
-/// memory-disambiguation scan relies on.  On top of that order the queue
-/// maintains a *visible prefix*: the first [`visible_len`](Self) entries are
-/// known visible at the watermark (the largest time passed to
+/// memory-disambiguation fallback scan relies on.  On top of that order the
+/// queue maintains a *visible prefix*: the first [`visible_len`](Self) entries
+/// are known visible at the watermark (the largest time passed to
 /// [`LoadStoreQueue::refresh_visible`]), and `earliest_pending_ps` caches
 /// the minimum visibility time of the remaining suffix.  Dispatch times are
 /// monotone in program order, so visibility times almost always are too and
@@ -72,6 +116,30 @@ pub struct LoadStoreQueue {
     /// removal may leave it stale-low, which only costs one no-op refresh
     /// pass (which re-derives it exactly), never a missed promotion.
     earliest_pending_ps: u64,
+    /// Conservative lower bound on the minimum `ready_at_ps` over
+    /// *visible-prefix* entries whose `operands_ready` flag is not yet
+    /// set: the earliest time at which
+    /// [`LoadStoreQueue::promote_operand_readiness`] can latch anything
+    /// without the prefix growing (suffix entries cannot latch before they
+    /// are promoted into the prefix, and promotion forces a pass).
+    /// Stale-low after flag promotions and removals (each executed pass
+    /// re-derives it exactly), never stale-high.
+    min_unflagged_ready_ps: u64,
+    /// Number of stores in the queue whose operands are not yet ready.
+    unready_stores: usize,
+    /// Sequence number of the oldest store with unready operands
+    /// (`u64::MAX` when every store's address is known).  Exact, not a
+    /// bound: a load `l` is blocked by an unknown store address iff
+    /// `min_unready_store_seq < l.seq`.
+    min_unready_store_seq: SeqNum,
+    /// Counting address-match filter over the stores in the queue: bucket
+    /// `(addr >> 3) & 63` counts the stores whose byte range covers that
+    /// 8-byte granule.  `u16` cannot overflow: a store's range (at most
+    /// 255 bytes, far below the filter's 512-byte period) covers each
+    /// bucket at most once, so a bucket's count is bounded by the number
+    /// of stores in the queue, i.e. by `capacity` — which the constructor
+    /// caps at `u16::MAX`.
+    store_filter: [u16; FILTER_BUCKETS],
     /// Largest `now_ps` ever passed to a visibility query (debug-only
     /// monotonicity guard).
     #[cfg(debug_assertions)]
@@ -85,14 +153,23 @@ impl LoadStoreQueue {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero.
+    /// Panics if `capacity` is zero or exceeds `u16::MAX` (the address
+    /// filter's per-bucket counters are bounded by the store count).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LSQ capacity must be positive");
+        assert!(
+            capacity <= u16::MAX as usize,
+            "LSQ capacity must fit the address filter's counters"
+        );
         LoadStoreQueue {
             capacity,
             entries: Vec::with_capacity(capacity),
             visible_len: 0,
             earliest_pending_ps: u64::MAX,
+            min_unflagged_ready_ps: u64::MAX,
+            unready_stores: 0,
+            min_unready_store_seq: u64::MAX,
+            store_filter: [0; FILTER_BUCKETS],
             #[cfg(debug_assertions)]
             watermark_ps: 0,
             occupancy_accumulator: 0,
@@ -118,6 +195,36 @@ impl LoadStoreQueue {
     /// Whether the LSQ is full (dispatch of memory operations must stall).
     pub fn is_full(&self) -> bool {
         self.entries.len() >= self.capacity
+    }
+
+    /// The filter buckets covered by an access's byte range (inclusive).
+    fn filter_bucket_range(mem: &MemInfo) -> (u64, u64) {
+        let first = mem.addr >> FILTER_GRANULE_SHIFT;
+        let last = (mem.addr + mem.size.max(1) as u64 - 1) >> FILTER_GRANULE_SHIFT;
+        (first, last)
+    }
+
+    fn filter_add(&mut self, mem: &MemInfo) {
+        let (first, last) = Self::filter_bucket_range(mem);
+        for g in first..=last {
+            self.store_filter[(g % FILTER_BUCKETS as u64) as usize] += 1;
+        }
+    }
+
+    fn filter_remove(&mut self, mem: &MemInfo) {
+        let (first, last) = Self::filter_bucket_range(mem);
+        for g in first..=last {
+            let bucket = &mut self.store_filter[(g % FILTER_BUCKETS as u64) as usize];
+            debug_assert!(*bucket > 0, "filter underflow");
+            *bucket -= 1;
+        }
+    }
+
+    /// Whether some store in the queue *may* overlap `mem` (conservative:
+    /// false positives possible, false negatives not).
+    fn filter_may_match(&self, mem: &MemInfo) -> bool {
+        let (first, last) = Self::filter_bucket_range(mem);
+        (first..=last).any(|g| self.store_filter[(g % FILTER_BUCKETS as u64) as usize] > 0)
     }
 
     /// Inserts a memory operation at dispatch time (program order).
@@ -146,11 +253,19 @@ impl LoadStoreQueue {
             is_store,
             mem,
             visible_at_ps,
+            ready_at_ps: u64::MAX,
             operands_ready: false,
             issued: false,
             completed: false,
         });
         self.earliest_pending_ps = self.earliest_pending_ps.min(visible_at_ps);
+        if is_store {
+            self.unready_stores += 1;
+            // Program order: the new store is the youngest, so the minimum
+            // only changes when no unready store existed.
+            self.min_unready_store_seq = self.min_unready_store_seq.min(seq);
+            self.filter_add(&mem);
+        }
         Ok(())
     }
 
@@ -160,45 +275,107 @@ impl LoadStoreQueue {
         self.entries.binary_search_by_key(&seq, |e| e.seq).ok()
     }
 
-    fn find_mut(&mut self, seq: SeqNum) -> Option<&mut LsqEntry> {
-        let pos = self.position(seq)?;
-        Some(&mut self.entries[pos])
-    }
-
     /// Looks up an entry.
     pub fn get(&self, seq: SeqNum) -> Option<&LsqEntry> {
         let pos = self.position(seq)?;
         Some(&self.entries[pos])
     }
 
+    /// Records the time at which the operands of `seq` become visible to
+    /// the load/store domain (pushed by the simulator when the entry's
+    /// last outstanding producer completes, or at dispatch when none is).
+    pub fn set_ready_at(&mut self, seq: SeqNum, ready_at_ps: u64) -> bool {
+        let Some(pos) = self.position(seq) else {
+            return false;
+        };
+        let e = &mut self.entries[pos];
+        debug_assert!(
+            e.ready_at_ps == u64::MAX,
+            "operand readiness time is pushed exactly once"
+        );
+        e.ready_at_ps = ready_at_ps;
+        if !e.operands_ready {
+            self.min_unflagged_ready_ps = self.min_unflagged_ready_ps.min(ready_at_ps);
+        }
+        true
+    }
+
+    /// Lowers the operand-readiness time of `seq` to `ready_at_ps` if that
+    /// is earlier (pushed when one of the entry's producers *retires*
+    /// before its result's cross-domain visibility arrives: architectural
+    /// state needs no synchronization crossing).  A no-op once the ready
+    /// flag has latched.
+    pub fn lower_ready_at(&mut self, seq: SeqNum, ready_at_ps: u64) -> bool {
+        let Some(pos) = self.position(seq) else {
+            return false;
+        };
+        let e = &mut self.entries[pos];
+        if !e.operands_ready && ready_at_ps < e.ready_at_ps {
+            e.ready_at_ps = ready_at_ps;
+            self.min_unflagged_ready_ps = self.min_unflagged_ready_ps.min(ready_at_ps);
+        }
+        true
+    }
+
+    /// Latches the `operands_ready` flag of entry `pos` and maintains the
+    /// older-store summary.
+    fn flag_operands_ready(&mut self, pos: usize) {
+        let (seq, is_store) = {
+            let e = &mut self.entries[pos];
+            debug_assert!(!e.operands_ready);
+            e.operands_ready = true;
+            (e.seq, e.is_store)
+        };
+        if is_store {
+            self.unready_stores -= 1;
+            if seq == self.min_unready_store_seq {
+                self.min_unready_store_seq = self.next_unready_store_after(pos);
+            }
+        }
+    }
+
+    /// The sequence number of the first store with unready operands after
+    /// index `pos`, or `u64::MAX` if there is none.  Entries are
+    /// seq-sorted, so when the minimum-seq unready store becomes ready the
+    /// next minimum can only be further right.
+    fn next_unready_store_after(&self, pos: usize) -> SeqNum {
+        if self.unready_stores == 0 {
+            return u64::MAX;
+        }
+        self.entries[pos + 1..]
+            .iter()
+            .find(|e| e.is_store && !e.operands_ready)
+            .map(|e| e.seq)
+            .expect("unready_stores counted a store")
+    }
+
     /// Marks an entry's operands (address and store data) as ready.
     pub fn set_operands_ready(&mut self, seq: SeqNum) -> bool {
-        if let Some(e) = self.find_mut(seq) {
-            e.operands_ready = true;
-            true
-        } else {
-            false
+        let Some(pos) = self.position(seq) else {
+            return false;
+        };
+        if !self.entries[pos].operands_ready {
+            self.flag_operands_ready(pos);
         }
+        true
     }
 
     /// Marks an entry as issued.
     pub fn mark_issued(&mut self, seq: SeqNum) -> bool {
-        if let Some(e) = self.find_mut(seq) {
-            e.issued = true;
-            true
-        } else {
-            false
-        }
+        let Some(pos) = self.position(seq) else {
+            return false;
+        };
+        self.entries[pos].issued = true;
+        true
     }
 
     /// Marks an entry as completed.
     pub fn mark_completed(&mut self, seq: SeqNum) -> bool {
-        if let Some(e) = self.find_mut(seq) {
-            e.completed = true;
-            true
-        } else {
-            false
-        }
+        let Some(pos) = self.position(seq) else {
+            return false;
+        };
+        self.entries[pos].completed = true;
+        true
     }
 
     /// Removes an entry (loads at completion, stores at commit).
@@ -206,13 +383,31 @@ impl LoadStoreQueue {
         let Some(pos) = self.position(seq) else {
             return false;
         };
-        self.entries.remove(pos);
+        let e = self.entries.remove(pos);
         if pos < self.visible_len {
             self.visible_len -= 1;
         }
-        // A suffix removal may leave `earliest_pending_ps` stale-low; that
-        // is a conservative bound (costs one no-op refresh pass, which
-        // re-derives it exactly), so no O(n) minimum recomputation here.
+        if e.is_store {
+            self.filter_remove(&e.mem);
+            if !e.operands_ready {
+                // Unreachable in the simulator (stores only retire after
+                // completing, which requires ready operands), but keep the
+                // summary exact for direct users of the structure.
+                self.unready_stores -= 1;
+                if seq == self.min_unready_store_seq {
+                    self.min_unready_store_seq = self
+                        .entries
+                        .iter()
+                        .find(|e| e.is_store && !e.operands_ready)
+                        .map(|e| e.seq)
+                        .unwrap_or(u64::MAX);
+                }
+            }
+        }
+        // A suffix removal may leave `earliest_pending_ps` (and the
+        // unflagged-readiness bound) stale-low; both are conservative
+        // bounds re-derived exactly by the next executed pass, so no O(n)
+        // minimum recomputation here.
         true
     }
 
@@ -259,6 +454,12 @@ impl LoadStoreQueue {
         self.visible_len
     }
 
+    /// The sequence number of the oldest store whose operands are still
+    /// unknown (`u64::MAX` when every store address is known).
+    pub fn min_unready_store_seq(&self) -> SeqNum {
+        self.min_unready_store_seq
+    }
+
     /// Decides whether the load `seq` may issue, considering all older
     /// stores still in the queue.
     ///
@@ -266,17 +467,32 @@ impl LoadStoreQueue {
     /// operands (unknown address) blocks the load; an older store with an
     /// overlapping address forwards if possible (most recent such store
     /// wins); otherwise the load may access the cache.
+    ///
+    /// The common cases are O(1): an unknown older store address is
+    /// detected with one comparison against
+    /// [`min_unready_store_seq`](Self::min_unready_store_seq), and the
+    /// absence of any potentially overlapping store with the address
+    /// filter.  Only a filter hit scans the older stores, to identify the
+    /// forwarding store or a partial overlap — with decisions identical to
+    /// the historical full scan in every case.
     pub fn load_issue_decision(&self, seq: SeqNum) -> LsqIssue {
         let Some(load) = self.get(seq) else {
             return LsqIssue::Blocked;
         };
         debug_assert!(!load.is_store);
+        if self.min_unready_store_seq < seq {
+            // Some older store has an unknown address: cannot disambiguate.
+            return LsqIssue::Blocked;
+        }
+        if !self.filter_may_match(&load.mem) {
+            // No store in the queue overlaps the load's granules.
+            return LsqIssue::AccessCache;
+        }
+        // Filter hit: scan the older stores (all of which have known
+        // addresses here) for forwarding or a partial overlap.
         let mut forward_from: Option<SeqNum> = None;
         for e in self.entries.iter().filter(|e| e.is_store && e.seq < seq) {
-            if !e.operands_ready {
-                // Unknown store address: cannot disambiguate.
-                return LsqIssue::Blocked;
-            }
+            debug_assert!(e.operands_ready, "older unready stores were excluded above");
             if e.mem.overlaps(&load.mem) {
                 // The store's data is available once its operands are ready;
                 // forwarding requires the store to cover the load completely.
@@ -331,34 +547,53 @@ impl LoadStoreQueue {
         v
     }
 
-    /// Applies `ready` to entries whose operands are not yet known and
-    /// marks those for which it returns `true`, in one in-place pass.
+    /// Latches the `operands_ready` flag of every entry whose pushed
+    /// readiness time ([`LoadStoreQueue::set_ready_at`]) has arrived, in
+    /// one in-place pass — a no-op (one comparison) while `now_ps` is
+    /// below the earliest unlatched readiness time.
     ///
     /// Only the visible prefix is scanned: readiness is consumed by the
     /// issue-candidate filter (visible entries only) and by the
     /// disambiguation scan over *older* stores of a visible load, which
-    /// program order places in the prefix too.  Because the simulator's
-    /// readiness predicate is monotone in time (a producer, once visible,
-    /// stays visible), evaluating it the cycle an entry enters the prefix
-    /// latches exactly the value the historical every-entry scan latched.
-    /// If visibility times are non-monotone the suffix is scanned as well,
-    /// restoring the historical behaviour verbatim.
-    pub fn update_operand_readiness(
-        &mut self,
-        now_ps: u64,
-        mut ready: impl FnMut(&LsqEntry) -> bool,
-    ) {
+    /// program order places in the prefix too.  Readiness times are fixed
+    /// at the producers' completions, so latching an entry the cycle it
+    /// enters the prefix yields exactly the value the historical
+    /// every-entry probe latched.  If visibility times are non-monotone
+    /// the suffix is scanned as well, restoring the historical behaviour
+    /// verbatim.
+    pub fn promote_operand_readiness(&mut self, now_ps: u64) {
+        let old_visible = self.visible_len;
         self.refresh_visible(now_ps);
-        let scan_to = if self.earliest_pending_ps <= now_ps {
+        let non_monotone = self.earliest_pending_ps <= now_ps;
+        // The pass can only latch something if the prefix grew (new
+        // entries whose readiness time is unknown to the bound), a
+        // prefix entry's readiness time has arrived, or visibility is
+        // non-monotone (the suffix becomes scannable).  Otherwise it is a
+        // no-op and the bound lets us skip it entirely.
+        if self.visible_len == old_visible && !non_monotone && now_ps < self.min_unflagged_ready_ps
+        {
+            return;
+        }
+        let scan_to = if non_monotone {
             self.entries.len()
         } else {
             self.visible_len
         };
-        for e in &mut self.entries[..scan_to] {
-            if !e.operands_ready && ready(e) {
-                e.operands_ready = true;
+        let mut min_pending = u64::MAX;
+        for i in 0..scan_to {
+            let e = &self.entries[i];
+            if e.operands_ready {
+                continue;
+            }
+            if e.ready_at_ps <= now_ps {
+                self.flag_operands_ready(i);
+            } else {
+                // Still pending: it bounds the next time this pass can do
+                // anything.
+                min_pending = min_pending.min(e.ready_at_ps);
             }
         }
+        self.min_unflagged_ready_ps = min_pending;
     }
 
     /// Adds the current occupancy to the per-interval accumulator (once per
@@ -466,6 +701,93 @@ mod tests {
         q.insert(3, true, mem(0x100, 8), 0).unwrap();
         q.set_operands_ready(2);
         assert_eq!(q.load_issue_decision(2), LsqIssue::AccessCache);
+    }
+
+    #[test]
+    fn min_unready_store_seq_tracks_insert_ready_and_remove() {
+        let mut q = LoadStoreQueue::new(8);
+        assert_eq!(q.min_unready_store_seq(), u64::MAX);
+        q.insert(1, true, mem(0x100, 8), 0).unwrap();
+        q.insert(2, false, mem(0x200, 8), 0).unwrap();
+        q.insert(3, true, mem(0x300, 8), 0).unwrap();
+        q.insert(4, true, mem(0x400, 8), 0).unwrap();
+        assert_eq!(q.min_unready_store_seq(), 1);
+        // Readying a younger store does not move the minimum.
+        q.set_operands_ready(3);
+        assert_eq!(q.min_unready_store_seq(), 1);
+        // Readying the minimum advances past already-ready stores.
+        q.set_operands_ready(1);
+        assert_eq!(q.min_unready_store_seq(), 4);
+        q.set_operands_ready(4);
+        assert_eq!(q.min_unready_store_seq(), u64::MAX);
+        // Loads never participate.
+        assert_eq!(q.unready_stores, 0);
+    }
+
+    #[test]
+    fn filter_fast_path_and_aliasing_fallback_agree_with_the_scan() {
+        let mut q = LoadStoreQueue::new(8);
+        // Store at 0x100; the filter granule is 8 bytes and there are 64
+        // buckets, so 0x100 + 64*8 = 0x300 aliases to the same bucket.
+        q.insert(1, true, mem(0x100, 8), 0).unwrap();
+        q.set_operands_ready(1);
+        q.insert(2, false, mem(0x180, 8), 0).unwrap();
+        q.set_operands_ready(2);
+        q.insert(3, false, mem(0x300, 8), 0).unwrap();
+        q.set_operands_ready(3);
+        // Distinct bucket: pure filter miss.
+        assert_eq!(q.load_issue_decision(2), LsqIssue::AccessCache);
+        // Aliasing bucket: filter hit, but the scan finds no real overlap.
+        assert!(q.filter_may_match(&mem(0x300, 8)));
+        assert_eq!(q.load_issue_decision(3), LsqIssue::AccessCache);
+    }
+
+    #[test]
+    fn filter_clears_when_stores_leave_the_queue() {
+        let mut q = LoadStoreQueue::new(8);
+        q.insert(1, true, mem(0x100, 8), 0).unwrap();
+        q.insert(2, true, mem(0x100, 8), 0).unwrap();
+        assert!(q.filter_may_match(&mem(0x100, 8)));
+        q.set_operands_ready(1);
+        q.set_operands_ready(2);
+        q.remove(1);
+        // One store still covers the granule.
+        assert!(q.filter_may_match(&mem(0x100, 8)));
+        q.remove(2);
+        assert!(!q.filter_may_match(&mem(0x100, 8)));
+    }
+
+    #[test]
+    fn pushed_readiness_times_latch_on_visible_entries() {
+        let mut q = LoadStoreQueue::new(8);
+        q.insert(1, false, mem(0, 8), 100).unwrap();
+        q.insert(2, false, mem(8, 8), 100).unwrap();
+        q.set_ready_at(1, 500);
+        // Entry 2's producers are still outstanding (ready_at = MAX).
+        q.promote_operand_readiness(200);
+        assert!(!q.get(1).unwrap().operands_ready, "not ready before 500");
+        q.promote_operand_readiness(500);
+        assert!(q.get(1).unwrap().operands_ready);
+        assert!(!q.get(2).unwrap().operands_ready);
+        q.set_ready_at(2, 600);
+        q.promote_operand_readiness(600);
+        assert!(q.get(2).unwrap().operands_ready);
+    }
+
+    #[test]
+    fn readiness_does_not_latch_before_queue_visibility() {
+        let mut q = LoadStoreQueue::new(8);
+        // Operands ready at 100, but the entry reaches the LSQ at 1_000.
+        q.insert(1, false, mem(0, 8), 1_000).unwrap();
+        q.set_ready_at(1, 100);
+        q.promote_operand_readiness(500);
+        assert!(
+            !q.get(1).unwrap().operands_ready,
+            "an entry outside the visible prefix must not latch readiness"
+        );
+        q.promote_operand_readiness(1_000);
+        assert!(q.get(1).unwrap().operands_ready);
+        assert_eq!(q.issue_candidates(1_000), vec![1]);
     }
 
     #[test]

@@ -7,6 +7,18 @@
 //! each cycle pops only the events that are actually due, in exactly the
 //! deterministic `(time, seq)` order the old sort produced, at `O(log n)`
 //! per event instead of `O(n)` per cycle.
+//!
+//! [`WakeupQueues`] plays the same role for *readiness* events: when an
+//! instruction's last outstanding producer completes (see
+//! `inflight::InFlightTable::complete`), the exact future time at which it
+//! becomes issueable in its execution domain is known, so it is queued as
+//! a `(ready time, seq)` event instead of being re-probed every cycle.
+//! Each domain cycle promotes the events that have come due into a
+//! seq-sorted *ready list* — the select stage then walks only genuinely
+//! issueable instructions, oldest first, exactly the set and order the
+//! historical visible-partition-plus-probe scan produced.  Entries leave
+//! the ready list only at issue; a candidate that loses functional-unit
+//! arbitration simply stays for the next cycle.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -48,6 +60,91 @@ impl CompletionQueues {
     }
 }
 
+/// Per-domain wakeup-event min-heaps plus the seq-sorted ready lists they
+/// feed.  An instruction is pushed when its readiness time becomes known
+/// and may be pushed *again* at an earlier time if one of its producers
+/// retires first (architectural state needs no visibility crossing);
+/// promotion deduplicates, and a caller-supplied filter drops events for
+/// instructions that already issued.
+#[derive(Debug, Default)]
+pub(crate) struct WakeupQueues {
+    /// Pending `(ready time, seq)` wakeup events per domain.
+    heaps: [BinaryHeap<Reverse<(TimePs, SeqNum)>>; 5],
+    /// Issueable-but-not-yet-issued instructions per domain, sorted by
+    /// sequence number (issue priority is oldest first).
+    ready: [Vec<SeqNum>; 5],
+}
+
+impl WakeupQueues {
+    /// Creates empty queues for all five domains.
+    pub(crate) fn new() -> Self {
+        WakeupQueues::default()
+    }
+
+    /// Schedules instruction `seq` to become issueable in `domain` at
+    /// `time`.
+    #[inline]
+    pub(crate) fn push(&mut self, domain: DomainId, time: TimePs, seq: SeqNum) {
+        self.heaps[domain.index()].push(Reverse((time, seq)));
+    }
+
+    /// Moves every wakeup event of `domain` due at `now` into the ready
+    /// list.  A no-op (one heap peek) when nothing has come due.
+    ///
+    /// `still_waiting` filters out stale events: an instruction re-woken
+    /// at an earlier time by a producer's retirement leaves its original
+    /// event in the heap, which must be dropped once the instruction has
+    /// issued.  Duplicates of instructions already in the ready list are
+    /// skipped by the sorted insertion itself.
+    #[inline]
+    pub(crate) fn promote_due(
+        &mut self,
+        domain: DomainId,
+        now: TimePs,
+        mut still_waiting: impl FnMut(SeqNum) -> bool,
+    ) {
+        let heap = &mut self.heaps[domain.index()];
+        let ready = &mut self.ready[domain.index()];
+        while let Some(&Reverse((t, seq))) = heap.peek() {
+            if t > now {
+                break;
+            }
+            heap.pop();
+            if !still_waiting(seq) {
+                continue;
+            }
+            // Wakeups fire in time order but seqs are arbitrary; keep the
+            // ready list seq-sorted so issue walks it oldest first.  The
+            // common case appends.
+            match ready.last() {
+                Some(&last) if last >= seq => {
+                    let pos = ready.partition_point(|&s| s < seq);
+                    if ready.get(pos) != Some(&seq) {
+                        ready.insert(pos, seq);
+                    }
+                }
+                _ => ready.push(seq),
+            }
+        }
+    }
+
+    /// The instructions of `domain` that are issueable at the last
+    /// [`WakeupQueues::promote_due`] time, oldest first.
+    #[inline]
+    pub(crate) fn ready(&self, domain: DomainId) -> &[SeqNum] {
+        &self.ready[domain.index()]
+    }
+
+    /// Removes an instruction from `domain`'s ready list at issue.
+    #[inline]
+    pub(crate) fn remove_ready(&mut self, domain: DomainId, seq: SeqNum) {
+        let ready = &mut self.ready[domain.index()];
+        if let Ok(pos) = ready.binary_search(&seq) {
+            ready.remove(pos);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +174,58 @@ mod tests {
         assert_eq!(q.pop_due(DomainId::Integer, 100), Some((10, 1)));
         assert_eq!(q.pop_due(DomainId::Integer, 100), None);
         assert_eq!(q.pop_due(DomainId::LoadStore, 100), Some((10, 2)));
+    }
+
+    #[test]
+    fn wakeups_promote_due_events_into_a_seq_sorted_ready_list() {
+        let mut w = WakeupQueues::new();
+        let d = DomainId::Integer;
+        w.push(d, 100, 9);
+        w.push(d, 300, 2);
+        w.push(d, 200, 5);
+        w.promote_due(d, 50, |_| true);
+        assert!(w.ready(d).is_empty());
+        w.promote_due(d, 250, |_| true);
+        // 9 woke before 5 in time, but the list is seq-sorted.
+        assert_eq!(w.ready(d), &[5, 9]);
+        w.promote_due(d, 300, |_| true);
+        assert_eq!(w.ready(d), &[2, 5, 9]);
+        // Issue removes; losing arbitration (no call) keeps the entry.
+        w.remove_ready(d, 5);
+        assert_eq!(w.ready(d), &[2, 9]);
+        w.remove_ready(d, 5); // idempotent on absent seqs
+        assert_eq!(w.ready(d), &[2, 9]);
+    }
+
+    #[test]
+    fn duplicate_and_stale_wakeups_are_dropped() {
+        let mut w = WakeupQueues::new();
+        let d = DomainId::Integer;
+        // A producer retirement re-wakes seq 7 earlier than its original
+        // event; both events are in the heap.
+        w.push(d, 500, 7);
+        w.push(d, 100, 7);
+        w.promote_due(d, 200, |_| true);
+        assert_eq!(w.ready(d), &[7]);
+        // The later duplicate must not re-insert it...
+        w.promote_due(d, 500, |_| true);
+        assert_eq!(w.ready(d), &[7]);
+        // ...and once issued, stale events are filtered out entirely.
+        w.push(d, 600, 7);
+        w.remove_ready(d, 7);
+        w.promote_due(d, 600, |_| false);
+        assert!(w.ready(d).is_empty());
+    }
+
+    #[test]
+    fn wakeup_domains_are_independent() {
+        let mut w = WakeupQueues::new();
+        w.push(DomainId::Integer, 10, 1);
+        w.push(DomainId::FloatingPoint, 10, 2);
+        w.promote_due(DomainId::Integer, 100, |_| true);
+        assert_eq!(w.ready(DomainId::Integer), &[1]);
+        assert!(w.ready(DomainId::FloatingPoint).is_empty());
+        w.promote_due(DomainId::FloatingPoint, 100, |_| true);
+        assert_eq!(w.ready(DomainId::FloatingPoint), &[2]);
     }
 }

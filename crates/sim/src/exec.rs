@@ -17,6 +17,9 @@ impl McdProcessor {
         let period = self.clock(domain).current_period_ps();
 
         // ---- Writeback of finished executions ----
+        // Same-domain completions push wakeup events at exactly `now`, so
+        // consumers of this cycle's writebacks can issue this very cycle —
+        // the promotion below must run after the drain.
         self.drain_completions(domain, now);
 
         // ---- Wakeup / select / issue ----
@@ -25,29 +28,28 @@ impl McdProcessor {
         } else {
             self.config.arch.fp_issue_width
         };
-        // Reusable scratch buffer: no per-cycle allocation.  The issue
-        // queue maintains its visible partition incrementally, so the
-        // historical full visibility scan collapses to a promotion check
-        // plus a copy of the already-visible prefix.
+        // Event-driven select: the ready list holds exactly the dispatched
+        // instructions whose dispatch crossing and producer results are all
+        // visible here by `now` — there is nothing left to probe, and
+        // instructions waiting on producers are never examined at all.
+        // The scratch copy exists only because issue mutates the list.
+        let inflight = &self.inflight;
+        self.wakeups
+            .promote_due(domain, now, |seq| inflight.is_waiting(seq));
         let mut candidates = std::mem::take(&mut self.scratch_seqs);
-        {
-            let iq = if domain == DomainId::Integer {
-                &mut self.int_iq
-            } else {
-                &mut self.fp_iq
-            };
-            iq.refresh_visible(now);
-            candidates.extend_from_slice(iq.visible());
-        }
+        candidates.extend_from_slice(self.wakeups.ready(domain));
 
         let mut issued = 0usize;
         for &seq in &candidates {
             if issued >= issue_width {
                 break;
             }
-            if !self.inflight.operands_ready(seq, domain, now) {
-                continue;
-            }
+            // The event-driven ready list must agree with the historical
+            // probe definition of readiness at every issue opportunity.
+            debug_assert!(
+                self.inflight.operands_ready(seq, domain, now),
+                "event-woken candidate {seq} fails the readiness probe"
+            );
             let op = self
                 .inflight
                 .op_of(seq)
@@ -87,6 +89,7 @@ impl McdProcessor {
                 self.energy.record_access(Structure::FpRegFile, 2, voltage);
                 self.energy.record_access(Structure::FpAlu, 1, voltage);
             }
+            self.wakeups.remove_ready(domain, seq);
             self.inflight.mark_issued(seq);
             self.completions.push(domain, now + latency_ps.max(1), seq);
             issued += 1;
@@ -135,9 +138,24 @@ impl McdProcessor {
 
     pub(crate) fn writeback(&mut self, seq: SeqNum, t: TimePs, domain: DomainId) {
         let visible = self.visibility_vector(t, domain);
-        // Completion flips the hot flags; the returned cold payload carries
+        // Completion flips the hot flags, pushes this result's visibility
+        // to every waiting consumer, and returns the cold payload carrying
         // everything branch resolution needs.
-        let Some(cold) = self.inflight.complete(seq, visible) else {
+        let mut woken = std::mem::take(&mut self.scratch_woken);
+        let completed = self.inflight.complete(seq, visible, &mut woken);
+        // Route the consumers whose last outstanding producer this was:
+        // memory operations wake through the LSQ's operand-readiness
+        // times, execution-domain instructions through the wakeup heaps.
+        for &(consumer, consumer_domain, ready_at) in &woken {
+            if consumer_domain == DomainId::LoadStore {
+                self.lsq.set_ready_at(consumer, ready_at);
+            } else {
+                self.wakeups.push(consumer_domain, ready_at, consumer);
+            }
+        }
+        woken.clear();
+        self.scratch_woken = woken;
+        let Some(cold) = completed else {
             return;
         };
         let (is_branch, mispredicted, pc, op, prediction, branch_info, is_load) = (

@@ -159,9 +159,7 @@ impl McdProcessor {
 
             match target_domain {
                 DomainId::Integer if inst.op != OpClass::Nop => {
-                    self.int_iq
-                        .insert(inst.seq, visible_at)
-                        .expect("checked not full");
+                    self.int_iq.insert(inst.seq).expect("checked not full");
                     self.energy.record_access(
                         Structure::IntIssueQueue,
                         1,
@@ -169,9 +167,7 @@ impl McdProcessor {
                     );
                 }
                 DomainId::FloatingPoint => {
-                    self.fp_iq
-                        .insert(inst.seq, visible_at)
-                        .expect("checked not full");
+                    self.fp_iq.insert(inst.seq).expect("checked not full");
                     self.energy.record_access(
                         Structure::FpIssueQueue,
                         1,
@@ -220,6 +216,33 @@ impl McdProcessor {
 
             self.rob.push(rob_entry).expect("checked not full");
             self.inflight.insert(entry);
+            // Wire the instruction into the event-driven wakeup graph.
+            // NOPs complete at dispatch and enter no queue, so they take no
+            // part in wakeup.  Execution-domain instructions fold the
+            // dispatch-crossing visibility into their readiness time;
+            // memory operations start from zero because the LSQ gates its
+            // own queue visibility separately (and, in the rare
+            // non-monotone-visibility fallback, reads operand readiness
+            // independently of it).
+            if inst.op != OpClass::Nop {
+                let base_ready = if target_domain == DomainId::LoadStore {
+                    0
+                } else {
+                    visible_at
+                };
+                if let Some(ready_at) =
+                    self.inflight
+                        .link_dependencies(inst.seq, target_domain, base_ready)
+                {
+                    // No outstanding producer: the readiness time is known
+                    // right now.
+                    if target_domain == DomainId::LoadStore {
+                        self.lsq.set_ready_at(inst.seq, ready_at);
+                    } else {
+                        self.wakeups.push(target_domain, ready_at, inst.seq);
+                    }
+                }
+            }
             dispatched += 1;
         }
 
@@ -264,7 +287,23 @@ impl McdProcessor {
         }
         self.last_commit_ps = now;
 
-        if let Some(fl) = self.inflight.remove(entry.seq) {
+        // Retirement moves the result to architectural state: consumers
+        // still waiting for this instruction's cross-domain visibility can
+        // use the value from `now` on, so they are re-woken at their
+        // (possibly earlier) readiness time.
+        let mut rewoken = std::mem::take(&mut self.scratch_woken);
+        let removed = self.inflight.remove(entry.seq, now, &mut rewoken);
+        for &(consumer, consumer_domain, ready_at) in &rewoken {
+            if consumer_domain == DomainId::LoadStore {
+                self.lsq.lower_ready_at(consumer, ready_at);
+            } else {
+                self.wakeups.push(consumer_domain, ready_at, consumer);
+            }
+        }
+        rewoken.clear();
+        self.scratch_woken = rewoken;
+
+        if let Some(fl) = removed {
             // Free rename resources.
             if let Some(dst) = fl.inst.dst {
                 if !dst.is_zero() {

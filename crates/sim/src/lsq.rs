@@ -13,15 +13,13 @@ impl McdProcessor {
         let period = self.clock(domain).current_period_ps();
 
         // ---- Writeback of finished memory operations ----
+        // Completing producers push each waiting memory operation's
+        // operand-readiness time straight into the LSQ (see `writeback`),
+        // so the promotion below is a pure time comparison per entry.
         self.drain_completions(domain, now);
 
         // ---- Address-readiness update ----
-        // The closure borrows only the in-flight slab, so the LSQ can be
-        // updated in place without collecting sequence numbers first; the
-        // LSQ itself bounds the pass to its visible prefix.
-        let inflight = &self.inflight;
-        self.lsq
-            .update_operand_readiness(now, |e| inflight.operands_ready(e.seq, domain, now));
+        self.lsq.promote_operand_readiness(now);
 
         // ---- Issue memory operations ----
         let mut candidates = std::mem::take(&mut self.scratch_seqs);

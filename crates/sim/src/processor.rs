@@ -28,7 +28,7 @@ use mcd_clock::{
     DomainClock, DomainId, MegaHertz, OperatingPointTable, SyncWindow, TimePs, CONTROLLABLE_DOMAINS,
 };
 use mcd_control::{DomainSample, FrequencyController, IntervalSample, OfflineProfile};
-use mcd_isa::{DynInst, ExecClass, InstructionStream, OpClass, SeqNum};
+use mcd_isa::{DynInst, InstructionStream, OpClass, SeqNum};
 use mcd_microarch::{
     BranchPredictor, Cache, FuPool, FuPoolConfig, IssueQueue, LoadStoreQueue, Prediction,
     RenameAllocator, RenameMap, ReorderBuffer,
@@ -36,8 +36,8 @@ use mcd_microarch::{
 use mcd_power::EnergyAccount;
 
 use crate::config::{ClockingMode, SimConfig};
-use crate::events::CompletionQueues;
-use crate::inflight::InFlightTable;
+use crate::events::{CompletionQueues, WakeupQueues};
+use crate::inflight::{InFlightTable, Woken};
 use crate::telemetry::{DomainTrace, HostStats, IntervalRecord, SimResult};
 
 /// Abort the run if no instruction commits for this much simulated time
@@ -93,6 +93,9 @@ pub struct McdProcessor {
     pub(crate) l2: Cache,
     /// Pending completion events, one min-heap per domain.
     pub(crate) completions: CompletionQueues,
+    /// Pending readiness events and per-domain ready lists (event-driven
+    /// wakeup: producers push, the select stage never re-probes).
+    pub(crate) wakeups: WakeupQueues,
 
     // In-flight instruction table (dense ROB-indexed slab).
     pub(crate) inflight: InFlightTable,
@@ -102,6 +105,8 @@ pub struct McdProcessor {
     /// Reusable per-cycle scratch buffer (issue candidates, LSQ scans);
     /// owned by the processor so the hot loops never allocate.
     pub(crate) scratch_seqs: Vec<SeqNum>,
+    /// Reusable scratch buffer for the consumers woken by one writeback.
+    pub(crate) scratch_woken: Vec<Woken>,
 
     // Energy.
     pub(crate) energy: EnergyAccount,
@@ -197,9 +202,11 @@ impl McdProcessor {
             fp_fus: FuPool::new(FuPoolConfig::fp_domain()),
             mem_fus: FuPool::new(FuPoolConfig::loadstore_domain()),
             completions: CompletionQueues::new(),
+            wakeups: WakeupQueues::new(),
             inflight: InFlightTable::new(config.arch.rob_size),
             pending_predictions: VecDeque::with_capacity(config.arch.fetch_buffer_size),
             scratch_seqs: Vec::with_capacity(config.arch.lsq_size.max(config.arch.rob_size)),
+            scratch_woken: Vec::with_capacity(config.arch.rob_size),
             energy: EnergyAccount::new(config.energy.clone()),
             committed: 0,
             mispredict_redirects: 0,
@@ -290,12 +297,7 @@ impl McdProcessor {
     }
 
     pub(crate) fn exec_domain_of(op: OpClass) -> DomainId {
-        match op.exec_class() {
-            ExecClass::IntAlu | ExecClass::IntMultDiv | ExecClass::Branch => DomainId::Integer,
-            ExecClass::FpAlu | ExecClass::FpMultDiv => DomainId::FloatingPoint,
-            ExecClass::Mem => DomainId::LoadStore,
-            ExecClass::None => DomainId::Integer,
-        }
+        crate::inflight::exec_domain_of(op)
     }
 
     /// Per-cycle frequency bookkeeping shared by all domain cycles.
