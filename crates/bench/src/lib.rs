@@ -30,28 +30,46 @@ use mcd_core::experiments::ExperimentSettings;
 
 /// Returns the experiment settings selected by the `MCD_FULL` environment
 /// variable (the paper's full suite when set to `1`, otherwise the quick
-/// subset), with the worker count from `--jobs N` / `-j N` on the command
-/// line (falling back to `MCD_JOBS`, then the host's parallelism).
+/// subset), with the worker count from `--jobs N` / `-j N` and the
+/// scheduler slice granularity from `--slice-cycles N` on the command line
+/// (each falling back to its environment variable, `MCD_JOBS` /
+/// `MCD_SLICE_CYCLES`, then to the built-in default).
 pub fn settings_from_env() -> ExperimentSettings {
-    let base = if std::env::var("MCD_FULL").map(|v| v == "1").unwrap_or(false) {
+    let mut settings = if std::env::var("MCD_FULL").map(|v| v == "1").unwrap_or(false) {
         ExperimentSettings::paper()
     } else {
         ExperimentSettings::quick()
     };
-    match jobs_from_args(std::env::args()) {
-        Some(jobs) => base.with_jobs(jobs),
-        None => base,
+    if let Some(jobs) = jobs_from_args(std::env::args()) {
+        settings = settings.with_jobs(jobs);
     }
+    if let Some(slice) = slice_cycles_from_args(std::env::args()) {
+        settings = settings.with_slice_cycles(slice);
+    }
+    settings
 }
 
 /// Parses `--jobs N`, `--jobs=N` or `-j N` from an argument list.
 pub fn jobs_from_args(args: impl IntoIterator<Item = String>) -> Option<usize> {
+    flag_value(args, &["--jobs", "-j"], "--jobs=")
+}
+
+/// Parses `--slice-cycles N` or `--slice-cycles=N` from an argument list.
+pub fn slice_cycles_from_args(args: impl IntoIterator<Item = String>) -> Option<u64> {
+    flag_value(args, &["--slice-cycles"], "--slice-cycles=")
+}
+
+fn flag_value<T: std::str::FromStr>(
+    args: impl IntoIterator<Item = String>,
+    names: &[&str],
+    prefix: &str,
+) -> Option<T> {
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
-        if arg == "--jobs" || arg == "-j" {
+        if names.contains(&arg.as_str()) {
             return args.next().and_then(|v| v.parse().ok());
         }
-        if let Some(v) = arg.strip_prefix("--jobs=") {
+        if let Some(v) = arg.strip_prefix(prefix) {
             return v.parse().ok();
         }
     }
@@ -70,6 +88,7 @@ pub fn write_bench_json(
     let mut doc = serde_json::Value::object();
     doc.insert("experiment", name);
     doc.insert("workers", stats.workers);
+    doc.insert("slice_cycles", stats.slice_cycles);
     doc.insert("runs", stats.runs);
     doc.insert("wall_seconds", stats.wall_seconds);
     doc.insert("cumulative_seconds", stats.cumulative_seconds);
@@ -158,6 +177,28 @@ mod tests {
     }
 
     #[test]
+    fn slice_cycles_flag_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            slice_cycles_from_args(args(&["bin", "--slice-cycles", "50000"])),
+            Some(50_000)
+        );
+        assert_eq!(
+            slice_cycles_from_args(args(&["bin", "--slice-cycles=123"])),
+            Some(123)
+        );
+        assert_eq!(slice_cycles_from_args(args(&["bin"])), None);
+        assert_eq!(
+            slice_cycles_from_args(args(&["bin", "--slice-cycles", "no"])),
+            None
+        );
+        // The two flags do not interfere.
+        let both = args(&["bin", "--jobs", "4", "--slice-cycles", "9"]);
+        assert_eq!(jobs_from_args(both.clone()), Some(4));
+        assert_eq!(slice_cycles_from_args(both), Some(9));
+    }
+
+    #[test]
     fn bench_json_artifact_contains_throughput_fields() {
         std::env::set_var(
             "MCD_RESULTS_DIR",
@@ -165,6 +206,7 @@ mod tests {
         );
         let stats = EngineStats {
             workers: 4,
+            slice_cycles: 250_000,
             runs: 15,
             wall_seconds: 2.0,
             cumulative_seconds: 6.0,
@@ -176,6 +218,7 @@ mod tests {
         for needle in [
             "\"experiment\": \"unit\"",
             "\"workers\": 4",
+            "\"slice_cycles\": 250000",
             "\"parallel_speedup\": 3",
             "\"aggregate_simulated_mips\": 0.45",
             "\"benchmarks\": 3",

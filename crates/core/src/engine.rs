@@ -1,13 +1,26 @@
-//! The parallel experiment engine.
+//! The parallel experiment engine: a work-stealing slice scheduler.
 //!
 //! Every paper artefact is built from a grid of *(benchmark,
 //! configuration)* simulation jobs.  The engine turns such a grid — a
 //! [`RunPlan`] — into results using a fixed-size pool of scoped worker
-//! threads, while keeping three properties the experiments rely on:
+//! threads.  The unit of scheduling is **not** a whole run but a
+//! *slice* of one: each job becomes a [`PausableRun`] whose boxed state
+//! flows through a shared deque as a chain of `RunSlice` tasks, each
+//! executing at most [`ExperimentEngine::slice_cycles`] kernel steps
+//! before the run is parked back on the deque.  Any idle worker picks up
+//! the next slice of any live run, so a long run (mcf) no longer pins one
+//! worker while the others drain the queue and idle — every live run
+//! makes continuous progress from the start of the plan, and the plan's
+//! wall-clock approaches `max(total_work / workers, longest_run)` instead
+//! of `queue_delay + longest_run`.
+//!
+//! The scheduler keeps the properties the experiments rely on:
 //!
 //! 1. **Deterministic results.**  Each job is a pure function of the
-//!    experiment settings, so results are bit-identical regardless of the
-//!    worker count (host-throughput telemetry excluded; see
+//!    experiment settings, and a slice boundary is invisible to the
+//!    simulated machine (see [`mcd_sim::StepOutcome`]), so results are
+//!    bit-identical regardless of worker count *and* slice length
+//!    (host-throughput telemetry excluded; see
 //!    [`mcd_sim::telemetry::HostStats`]).  Results are returned in plan
 //!    order, never completion order.
 //! 2. **Profile prerequisites run exactly once.**  The off-line oracle
@@ -15,23 +28,23 @@
 //!    activity profile of a baseline-MCD run of the same benchmark.  The
 //!    engine schedules those profiling runs as an explicit prerequisite
 //!    phase feeding a shared, locked profile cache, so no worker ever
-//!    duplicates a baseline pass — previously each benchmark's thread
-//!    re-ran it per configuration grid.
-//! 3. **A tunable worker count.**  `--jobs N` on the bench binaries, the
-//!    `MCD_JOBS` environment variable, or [`ExperimentSettings::jobs`]
-//!    select the pool size; the default is the host's available
-//!    parallelism.
+//!    duplicates a baseline pass.
+//! 3. **Tunable knobs.**  `--jobs N` / `MCD_JOBS` /
+//!    [`ExperimentSettings::jobs`] select the pool size (default: the
+//!    host's available parallelism); `--slice-cycles N` /
+//!    `MCD_SLICE_CYCLES` / [`ExperimentSettings::slice_cycles`] select the
+//!    slice granularity (default [`DEFAULT_SLICE_CYCLES`]).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use mcd_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
 
 use crate::experiments::ExperimentSettings;
-use crate::runner::{BenchmarkRunner, ConfigKind, RunOutcome};
+use crate::runner::{BenchmarkRunner, ConfigKind, PausableRun, RunOutcome};
 
 /// Resolves the number of worker threads: an explicit request wins, then
 /// the `MCD_JOBS` environment variable, then the host's available
@@ -45,6 +58,39 @@ pub fn worker_count(explicit: Option<usize>) -> usize {
                 .unwrap_or(1)
         })
         .max(1)
+}
+
+/// Default slice granularity of the work-stealing scheduler, in kernel
+/// steps (domain-clock edges).  At current kernel throughput one slice is
+/// on the order of 100 ms of host time — coarse enough that the per-slice
+/// deque round-trip is unmeasurable, fine enough that a plan's runs
+/// interleave freely across workers.
+pub const DEFAULT_SLICE_CYCLES: u64 = 250_000;
+
+/// Resolves the scheduler's slice length in kernel steps: an explicit
+/// request wins, then the `MCD_SLICE_CYCLES` environment variable, then
+/// [`DEFAULT_SLICE_CYCLES`].
+///
+/// # Panics
+///
+/// Panics on a zero slice length or an unparseable `MCD_SLICE_CYCLES` —
+/// whichever way it was requested, an invalid granularity must not be
+/// silently rewritten, or a run meant to force a particular slice length
+/// (such as CI's small-slice test pass) would quietly certify a path it
+/// never took.  This matches `MCD_GOLDEN_SLICE` in
+/// `examples/golden_dump.rs`.
+pub fn slice_cycles(explicit: Option<u64>) -> u64 {
+    let resolved = explicit
+        .or_else(|| {
+            std::env::var("MCD_SLICE_CYCLES").ok().map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    panic!("MCD_SLICE_CYCLES must be a positive integer, got {v:?}")
+                })
+            })
+        })
+        .unwrap_or(DEFAULT_SLICE_CYCLES);
+    assert!(resolved > 0, "slice granularity must be positive, got 0");
+    resolved
 }
 
 /// Applies `f` to every item on `workers` scoped threads and returns the
@@ -88,6 +134,157 @@ where
         .expect("result slots poisoned")
         .into_iter()
         .map(|slot| slot.expect("every index was processed"))
+        .collect()
+}
+
+/// Shared state of one [`run_sliced`] execution: the deque of parked runs
+/// plus the liveness bookkeeping the workers block on.
+struct SliceQueue {
+    state: Mutex<SliceState>,
+    ready: Condvar,
+}
+
+struct SliceState {
+    /// Parked tasks, each tagged with its output slot: `None` for a job
+    /// not yet begun (the claiming worker constructs the simulator),
+    /// `Some` for a paused run.  `pop_front` / `push_back` rotates fairly
+    /// through the live runs, so every run makes continuous progress
+    /// while any worker is free.
+    parked: VecDeque<(usize, Option<Box<PausableRun>>)>,
+    /// Runs not yet finished (parked or currently being stepped).
+    live: usize,
+    /// Set when a worker unwound mid-slice, so blocked workers exit
+    /// instead of waiting for a task that will never finish.
+    poisoned: bool,
+}
+
+impl SliceQueue {
+    /// Blocks until a task can be claimed; `None` once no live runs remain
+    /// (or a sibling worker panicked).
+    fn claim(&self) -> Option<(usize, Option<Box<PausableRun>>)> {
+        let mut state = self.state.lock().expect("slice queue poisoned");
+        loop {
+            if state.poisoned || state.live == 0 {
+                return None;
+            }
+            if let Some(task) = state.parked.pop_front() {
+                return Some(task);
+            }
+            state = self.ready.wait(state).expect("slice queue poisoned");
+        }
+    }
+
+    /// Parks a paused run at the back of the deque for any worker to pick
+    /// up.
+    fn park(&self, slot: usize, run: Box<PausableRun>) {
+        let mut state = self.state.lock().expect("slice queue poisoned");
+        state.parked.push_back((slot, Some(run)));
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Marks one run finished; wakes every blocked worker when it was the
+    /// last.
+    fn retire(&self) {
+        let mut state = self.state.lock().expect("slice queue poisoned");
+        state.live -= 1;
+        let all_done = state.live == 0;
+        drop(state);
+        if all_done {
+            self.ready.notify_all();
+        }
+    }
+
+    /// Marks the queue dead so blocked workers exit; used when a worker
+    /// unwinds (e.g. a simulator watchdog panic), letting the scope join
+    /// and propagate the panic instead of deadlocking.
+    fn poison(&self) {
+        if let Ok(mut state) = self.state.lock() {
+            state.poisoned = true;
+        }
+        self.ready.notify_all();
+    }
+}
+
+/// Unwinding guard: a worker that panics mid-slice poisons the queue on
+/// the way out.
+struct PoisonOnPanic<'a>(&'a SliceQueue);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// Executes `n` jobs to completion on `workers` scoped threads,
+/// `slice_cycles` kernel steps at a time, and returns the outcomes **in
+/// job order**.  Each job's boxed run state flows through a shared deque:
+/// a worker claims any parked task — constructing the simulator via
+/// `begin(job_index)` on the job's *first* claim, so construction
+/// parallelizes across workers and overlaps with other jobs' slices —
+/// steps one slice, then either parks the run again (paused) or records
+/// its outcome and calls `on_finish` (finished).  A panic in any slice
+/// propagates.
+///
+/// The FIFO rotation deliberately keeps *every* unfinished run resident
+/// (roughly a megabyte of simulator state each) rather than bounding
+/// residency at O(workers): admitting jobs lazily and preferring paused
+/// runs would let a long run be admitted late and finish at
+/// `admission_delay + its_length` — exactly the run-granularity tail this
+/// scheduler exists to remove.  Fair rotation starts every run at plan
+/// start, so the plan's wall-clock approaches
+/// `max(total_work / workers, longest_run)` at the cost of O(jobs) peak
+/// memory (see ROADMAP "Open items" for the bounded-residency variant).
+pub(crate) fn run_sliced<B, F>(
+    workers: usize,
+    slice_cycles: u64,
+    n: usize,
+    begin: B,
+    on_finish: F,
+) -> Vec<RunOutcome>
+where
+    B: Fn(usize) -> PausableRun + Sync,
+    F: Fn(&RunOutcome) + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let queue = SliceQueue {
+        state: Mutex::new(SliceState {
+            parked: (0..n).map(|i| (i, None)).collect(),
+            live: n,
+            poisoned: false,
+        }),
+        ready: Condvar::new(),
+    };
+    let slots: Mutex<Vec<Option<RunOutcome>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.clamp(1, n) {
+            scope.spawn(|| {
+                let _guard = PoisonOnPanic(&queue);
+                while let Some((slot, run)) = queue.claim() {
+                    let mut run = run.unwrap_or_else(|| Box::new(begin(slot)));
+                    match run.step(slice_cycles) {
+                        None => queue.park(slot, run),
+                        Some(outcome) => {
+                            on_finish(&outcome);
+                            slots.lock().expect("result slots poisoned")[slot] = Some(outcome);
+                            queue.retire();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("result slots poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every run finished"))
         .collect()
 }
 
@@ -170,6 +367,11 @@ impl RunPlan {
 pub struct EngineStats {
     /// Worker threads used.
     pub workers: usize,
+    /// Slice granularity the plan actually executed with, in kernel steps
+    /// (`u64::MAX` means run-at-a-time — reported both for an explicit
+    /// `u64::MAX` request and for single-worker executions, which take the
+    /// serial path and never slice).
+    pub slice_cycles: u64,
     /// Simulation jobs executed (including prerequisite profiling runs).
     pub runs: usize,
     /// Wall-clock time of the whole plan in seconds.
@@ -190,11 +392,13 @@ pub struct EngineStats {
 pub struct ExperimentEngine {
     runner: BenchmarkRunner,
     workers: usize,
+    slice_cycles: u64,
 }
 
 impl ExperimentEngine {
-    /// Creates an engine for the given settings (worker count, instruction
-    /// budget, control-interval length, seed) with a fresh profile cache.
+    /// Creates an engine for the given settings (worker count, slice
+    /// granularity, instruction budget, control-interval length, seed)
+    /// with a fresh profile cache.
     pub fn from_settings(settings: &ExperimentSettings) -> Self {
         let workers = if settings.parallel {
             worker_count(settings.jobs)
@@ -205,6 +409,7 @@ impl ExperimentEngine {
             runner: BenchmarkRunner::new(settings.instructions, settings.seed)
                 .with_interval(settings.interval_instructions),
             workers,
+            slice_cycles: slice_cycles(settings.slice_cycles),
         }
     }
 
@@ -213,9 +418,34 @@ impl ExperimentEngine {
         self.workers
     }
 
+    /// The slice granularity (kernel steps per scheduling quantum) the
+    /// engine will use.
+    pub fn slice_cycles(&self) -> u64 {
+        self.slice_cycles
+    }
+
     /// The runner backing this engine (shares its profile cache).
     pub fn runner(&self) -> &BenchmarkRunner {
         &self.runner
+    }
+
+    /// Executes `specs` to completion and returns outcomes in spec order:
+    /// serially for a single worker, through the work-stealing slice
+    /// scheduler otherwise.
+    fn execute_jobs(&self, specs: &[JobSpec]) -> Vec<RunOutcome> {
+        if self.workers == 1 {
+            return specs
+                .iter()
+                .map(|job| self.runner.run(job.benchmark, &job.config))
+                .collect();
+        }
+        run_sliced(
+            self.workers,
+            self.slice_cycles,
+            specs.len(),
+            |i| self.runner.begin(specs[i].benchmark, &specs[i].config),
+            |outcome| self.runner.note_outcome(outcome),
+        )
     }
 
     /// Executes the plan and returns its outcomes in plan order.
@@ -230,48 +460,71 @@ impl ExperimentEngine {
         // Phase 1 — prerequisite profiling runs, deduplicated through the
         // shared cache.  The baseline outcome itself is kept so that a
         // BaselineMcd job of the same benchmark in the plan does not run
-        // the simulation twice.
-        let prerequisites: Vec<Benchmark> = plan
+        // the simulation twice.  These must complete before phase 2 can
+        // *construct* the off-line oracle controllers, so they form their
+        // own scheduling wave.
+        let prerequisites: Vec<JobSpec> = plan
             .profile_prerequisites()
             .into_iter()
             .filter(|b| !self.runner.has_profile(*b))
-            .collect();
-        let baseline_outcomes: HashMap<Benchmark, RunOutcome> =
-            parallel_map(self.workers, &prerequisites, |_, &bench| {
-                (bench, self.runner.run(bench, &ConfigKind::BaselineMcd))
+            .map(|benchmark| JobSpec {
+                benchmark,
+                config: ConfigKind::BaselineMcd,
             })
+            .collect();
+        let baseline_outcomes: HashMap<Benchmark, RunOutcome> = self
+            .execute_jobs(&prerequisites)
             .into_iter()
+            .map(|o| (o.benchmark, o))
             .collect();
 
-        // Phase 2 — the plan itself; baseline jobs covered by phase 1 reuse
-        // the prerequisite outcome.
-        let outcomes = parallel_map(self.workers, &plan.jobs, |_, job| {
-            if job.config == ConfigKind::BaselineMcd {
-                if let Some(outcome) = baseline_outcomes.get(&job.benchmark) {
-                    return outcome.clone();
+        // Phase 2 — the plan itself; baseline jobs covered by phase 1
+        // reuse the prerequisite outcome, everything else becomes a chain
+        // of slices on the shared deque.
+        let reused = |job: &JobSpec| {
+            job.config == ConfigKind::BaselineMcd && baseline_outcomes.contains_key(&job.benchmark)
+        };
+        let fresh: Vec<JobSpec> = plan.jobs.iter().filter(|j| !reused(j)).cloned().collect();
+        let mut fresh_outcomes = self.execute_jobs(&fresh).into_iter();
+        let outcomes: Vec<RunOutcome> = plan
+            .jobs
+            .iter()
+            .map(|job| {
+                if reused(job) {
+                    baseline_outcomes[&job.benchmark].clone()
+                } else {
+                    fresh_outcomes
+                        .next()
+                        .expect("one fresh outcome per non-reused job")
                 }
-            }
-            self.runner.run(job.benchmark, &job.config)
-        });
+            })
+            .collect();
 
         let wall_seconds = started.elapsed().as_secs_f64();
         // Count each simulation once: plan outcomes that reused a phase-1
         // baseline run are clones, not fresh runs.
-        let reused = |job: &JobSpec| {
-            job.config == ConfigKind::BaselineMcd && baseline_outcomes.contains_key(&job.benchmark)
-        };
-        let fresh_outcomes = plan
+        let fresh_plan_outcomes = plan
             .jobs
             .iter()
             .zip(outcomes.iter())
             .filter(|(job, _)| !reused(job))
             .map(|(_, o)| o);
-        let all_runs = baseline_outcomes.values().chain(fresh_outcomes);
-        let runs = prerequisites.len() + plan.jobs.iter().filter(|j| !reused(j)).count();
+        let all_runs = baseline_outcomes.values().chain(fresh_plan_outcomes);
+        let runs = prerequisites.len() + fresh.len();
+        // Per-run host stats already aggregate across each run's slices
+        // (regardless of which workers executed them), so the plan-level
+        // cumulative cost is a plain sum.
         let cumulative_seconds: f64 = all_runs.clone().map(|o| o.result.host.wall_seconds).sum();
         let simulated_instructions: u64 = all_runs.map(|o| o.result.committed_instructions).sum();
         let stats = EngineStats {
             workers: self.workers,
+            // The serial path never slices; report run-at-a-time rather
+            // than a granularity that was not exercised.
+            slice_cycles: if self.workers == 1 {
+                u64::MAX
+            } else {
+                self.slice_cycles
+            },
             runs,
             wall_seconds,
             cumulative_seconds,
@@ -312,6 +565,69 @@ mod tests {
     }
 
     #[test]
+    fn slice_cycles_resolution_order() {
+        // Explicit request wins; the default applies when neither the
+        // request nor the environment decide.  (The MCD_SLICE_CYCLES
+        // branch is covered by the CI workflow, which forces a small slice
+        // for the whole suite; the env-free default branch is covered by
+        // CI's separate clean-environment mcd-core pass.)
+        assert_eq!(slice_cycles(Some(123)), 123);
+        if std::env::var("MCD_SLICE_CYCLES").is_err() {
+            assert_eq!(slice_cycles(None), DEFAULT_SLICE_CYCLES);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slice granularity must be positive")]
+    fn zero_slice_length_is_rejected() {
+        let _ = slice_cycles(Some(0));
+    }
+
+    #[test]
+    fn run_sliced_interleaves_runs_and_preserves_input_order() {
+        use std::sync::atomic::AtomicUsize;
+
+        let runner = BenchmarkRunner::new(6_000, 9);
+        let specs = [
+            (Benchmark::Adpcm, ConfigKind::BaselineMcd),
+            (Benchmark::Gzip, ConfigKind::BaselineMcd),
+            (Benchmark::Adpcm, ConfigKind::FullySynchronous),
+        ];
+        let begun = AtomicUsize::new(0);
+        let finished = AtomicUsize::new(0);
+        // A small slice forces every run through many park/claim cycles;
+        // construction happens lazily on each job's first claim.
+        let outcomes = run_sliced(
+            2,
+            2_000,
+            specs.len(),
+            |i| {
+                begun.fetch_add(1, Ordering::Relaxed);
+                let (b, c) = &specs[i];
+                runner.begin(*b, c)
+            },
+            |_| {
+                finished.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(
+            begun.load(Ordering::Relaxed),
+            3,
+            "each job begun exactly once"
+        );
+        assert_eq!(finished.load(Ordering::Relaxed), 3);
+        assert_eq!(outcomes.len(), 3);
+        for ((bench, config), outcome) in specs.iter().zip(&outcomes) {
+            assert_eq!(outcome.benchmark, *bench);
+            assert_eq!(outcome.config, *config);
+            assert_eq!(outcome.result.committed_instructions, 6_000);
+        }
+        // Sliced scheduling must not change simulated results.
+        let direct = runner.run(Benchmark::Gzip, &ConfigKind::BaselineMcd);
+        assert_eq!(outcomes[1].result, direct.result);
+    }
+
+    #[test]
     fn suite_plan_has_five_jobs_per_benchmark_and_profile_prereqs() {
         let plan = RunPlan::suite(&[Benchmark::Adpcm, Benchmark::Gzip]);
         assert_eq!(plan.jobs.len(), 10);
@@ -335,8 +651,10 @@ mod tests {
             global_search_iters: 1,
             parallel: true,
             jobs: Some(2),
+            slice_cycles: Some(3_000),
         };
         let engine = ExperimentEngine::from_settings(&settings);
+        assert_eq!(engine.slice_cycles(), 3_000);
         let plan = RunPlan::suite(&[Benchmark::Adpcm]);
         let (outcomes, stats) = engine.execute_with_stats(&plan);
         assert_eq!(outcomes.len(), 5);
@@ -344,6 +662,7 @@ mod tests {
         // reused the phase-1 profiling run.
         assert_eq!(stats.runs, 5 + 1 - 1);
         assert_eq!(stats.workers, 2);
+        assert_eq!(stats.slice_cycles, 3_000);
         assert!(stats.wall_seconds > 0.0);
         assert!(stats.cumulative_seconds > 0.0);
         assert!(stats.aggregate_mips > 0.0);

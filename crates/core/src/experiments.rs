@@ -40,6 +40,11 @@ pub struct ExperimentSettings {
     /// Worker threads when `parallel` (None: the `MCD_JOBS` environment
     /// variable, then the host's available parallelism).
     pub jobs: Option<usize>,
+    /// Kernel steps per scheduling slice of the work-stealing engine
+    /// (None: the `MCD_SLICE_CYCLES` environment variable, then
+    /// [`crate::engine::DEFAULT_SLICE_CYCLES`]).  Slice boundaries never
+    /// affect simulated results.
+    pub slice_cycles: Option<u64>,
 }
 
 impl ExperimentSettings {
@@ -61,6 +66,7 @@ impl ExperimentSettings {
             global_search_iters: 3,
             parallel: true,
             jobs: None,
+            slice_cycles: None,
         }
     }
 
@@ -75,6 +81,7 @@ impl ExperimentSettings {
             global_search_iters: 4,
             parallel: true,
             jobs: None,
+            slice_cycles: None,
         }
     }
 
@@ -94,6 +101,15 @@ impl ExperimentSettings {
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.parallel = jobs > 1;
         self.jobs = Some(jobs);
+        self
+    }
+
+    /// Builder-style override of the scheduler's slice granularity in
+    /// kernel steps (`u64::MAX` degrades the engine to run-at-a-time
+    /// scheduling, which is useful as a control when measuring the
+    /// scheduler itself).
+    pub fn with_slice_cycles(mut self, slice_cycles: u64) -> Self {
+        self.slice_cycles = Some(slice_cycles);
         self
     }
 
@@ -713,6 +729,7 @@ mod tests {
             global_search_iters: 2,
             parallel: true,
             jobs: None,
+            slice_cycles: None,
         }
     }
 
@@ -734,11 +751,24 @@ mod tests {
         serial.parallel = false;
         let mut parallel = tiny_settings().with_jobs(4);
         parallel.benchmarks.push(Benchmark::Mcf);
+        // A deliberately tiny slice maximizes the number of pause/resume
+        // boundaries and park/claim migrations between workers — the
+        // sliced-parallel result must still be bit-identical to the
+        // serial run-at-a-time execution.
+        let sliced_parallel = parallel.clone().with_slice_cycles(2_500);
         let a = run_suite(&serial);
         let b = run_suite(&parallel);
+        let c = run_suite(&sliced_parallel);
         assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), c.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.benchmark, y.benchmark);
+        }
+        for (x, y) in a.iter().zip(&c) {
+            assert_eq!(x.benchmark, y.benchmark);
+        }
+        for y in b.iter().chain(c.iter()) {
+            let x = a.iter().find(|x| x.benchmark == y.benchmark).unwrap();
             assert_eq!(x.sync, y.sync);
             assert_eq!(x.baseline_mcd, y.baseline_mcd);
             assert_eq!(x.attack_decay, y.attack_decay);
@@ -813,6 +843,7 @@ mod tests {
             global_search_iters: 2,
             parallel: true,
             jobs: None,
+            slice_cycles: None,
         });
         let fig = figure4::from_outcomes(&outcomes);
         assert_eq!(fig.rows.len(), 2);
@@ -851,6 +882,7 @@ mod tests {
             global_search_iters: 2,
             parallel: true,
             jobs: None,
+            slice_cycles: None,
         };
         let sweep = sensitivity::sweep_decay(&settings, &[0.0005, 0.0075]);
         assert_eq!(sweep.points.len(), 2);

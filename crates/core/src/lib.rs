@@ -45,7 +45,10 @@ pub mod presets;
 pub mod report;
 pub mod runner;
 
-pub use engine::{parallel_map, worker_count, EngineStats, ExperimentEngine, JobSpec, RunPlan};
+pub use engine::{
+    parallel_map, slice_cycles, worker_count, EngineStats, ExperimentEngine, JobSpec, RunPlan,
+    DEFAULT_SLICE_CYCLES,
+};
 pub use experiments::ExperimentSettings;
 pub use metrics::{suite_average, Comparison, RunMetrics};
-pub use runner::{BenchmarkRunner, ConfigKind, RunOutcome};
+pub use runner::{BenchmarkRunner, ConfigKind, PausableRun, RunOutcome};

@@ -14,7 +14,7 @@ use mcd_control::{
     AttackDecayController, AttackDecayParams, FixedController, FrequencyController,
     GlobalScalingController, OfflineController, OfflineProfile,
 };
-use mcd_sim::{McdProcessor, SimConfig, SimResult};
+use mcd_sim::{McdProcessor, SimConfig, SimResult, StepOutcome};
 use mcd_workloads::{Benchmark, WorkloadGenerator};
 use serde::{Deserialize, Serialize};
 
@@ -52,6 +52,57 @@ impl ConfigKind {
                 format!("Dynamic-{}%", (target_degradation * 100.0).round() as u32)
             }
             ConfigKind::GlobalScaling { freq_mhz } => format!("Global ({freq_mhz:.0} MHz)"),
+        }
+    }
+}
+
+/// A simulation run that can execute in bounded slices.
+///
+/// Produced by [`BenchmarkRunner::begin`]; the owner repeatedly calls
+/// [`PausableRun::step`] until it yields the outcome.  All of the run's
+/// state — the processor (with its controller, clocks, event queues and
+/// telemetry) *and* the instruction stream — is owned here, so the value
+/// can move freely between worker threads across pauses.  The sequence of
+/// slice boundaries does not affect the result: stepping in slices of any
+/// size yields a [`SimResult`] bit-identical to one unbounded run.
+pub struct PausableRun {
+    benchmark: Benchmark,
+    config: ConfigKind,
+    cpu: McdProcessor,
+    stream: WorkloadGenerator,
+}
+
+impl std::fmt::Debug for PausableRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PausableRun")
+            .field("benchmark", &self.benchmark)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PausableRun {
+    /// The benchmark this run executes.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// The configuration this run executes under.
+    pub fn config(&self) -> &ConfigKind {
+        &self.config
+    }
+
+    /// Runs at most `max_cycles` kernel steps.  Returns `None` when the
+    /// run paused (call again to continue) and the outcome when it
+    /// finished.  A finished run must not be stepped again.
+    pub fn step(&mut self, max_cycles: u64) -> Option<RunOutcome> {
+        match self.cpu.run_for(&mut self.stream, max_cycles) {
+            StepOutcome::Paused => None,
+            StepOutcome::Finished(result) => Some(RunOutcome {
+                benchmark: self.benchmark,
+                config: self.config.clone(),
+                result,
+            }),
         }
     }
 }
@@ -178,30 +229,51 @@ impl BenchmarkRunner {
         result.result.profile
     }
 
-    /// Runs `bench` under `kind` and returns the outcome.  Takes `&self`:
-    /// runs are pure functions of the runner's settings, so the parallel
-    /// engine calls this concurrently from its workers.
-    pub fn run(&self, bench: Benchmark, kind: &ConfigKind) -> RunOutcome {
+    /// Builds (but does not start) the simulation of `bench` under `kind`:
+    /// the processor with its controller, warmed caches and the workload
+    /// stream, packaged as a [`PausableRun`].
+    ///
+    /// For [`ConfigKind::OfflineDynamic`] this gathers the profiling pass
+    /// first (through the shared cache) — the experiment engine schedules
+    /// those as explicit prerequisites so `begin` finds the cache warm.
+    pub fn begin(&self, bench: Benchmark, kind: &ConfigKind) -> PausableRun {
         let spec = bench.spec();
         let stream = WorkloadGenerator::new(&spec, self.seed, self.instructions);
         let controller = self.controller(bench, kind);
         let config = self.sim_config(kind);
         let mut cpu = McdProcessor::new(config, controller);
         cpu.warm_caches(&WorkloadGenerator::warm_regions(&spec));
-        let result = cpu.run(stream);
-        // Cache the profile opportunistically from baseline runs.
-        if matches!(kind, ConfigKind::BaselineMcd) {
+        PausableRun {
+            benchmark: bench,
+            config: kind.clone(),
+            cpu,
+            stream,
+        }
+    }
+
+    /// Records a finished outcome: baseline-MCD runs cache their activity
+    /// profile for the off-line oracle.  Called by `run` and by the
+    /// experiment engine's slice scheduler when a run completes.
+    pub fn note_outcome(&self, outcome: &RunOutcome) {
+        if matches!(outcome.config, ConfigKind::BaselineMcd) {
             self.profiles
                 .lock()
                 .expect("profile cache poisoned")
-                .entry(bench)
-                .or_insert_with(|| result.profile.clone());
+                .entry(outcome.benchmark)
+                .or_insert_with(|| outcome.result.profile.clone());
         }
-        RunOutcome {
-            benchmark: bench,
-            config: kind.clone(),
-            result,
-        }
+    }
+
+    /// Runs `bench` under `kind` to completion and returns the outcome.
+    /// Takes `&self`: runs are pure functions of the runner's settings, so
+    /// the parallel engine calls this concurrently from its workers.
+    pub fn run(&self, bench: Benchmark, kind: &ConfigKind) -> RunOutcome {
+        let mut run = self.begin(bench, kind);
+        let outcome = run
+            .step(u64::MAX)
+            .expect("an unbounded slice runs to completion");
+        self.note_outcome(&outcome);
+        outcome
     }
 
     /// Finds the global frequency at which the fully synchronous processor
@@ -293,6 +365,33 @@ mod tests {
             },
         );
         assert_eq!(offline.result.committed_instructions, 25_000);
+    }
+
+    #[test]
+    fn pausable_run_is_bit_identical_to_the_one_shot_run() {
+        let runner = BenchmarkRunner::new(10_000, 7);
+        let whole = runner.run(Benchmark::Gzip, &ConfigKind::BaselineMcd);
+        let mut sliced = runner.begin(Benchmark::Gzip, &ConfigKind::BaselineMcd);
+        assert_eq!(sliced.benchmark(), Benchmark::Gzip);
+        assert_eq!(sliced.config(), &ConfigKind::BaselineMcd);
+        let mut pauses = 0;
+        let outcome = loop {
+            match sliced.step(3_000) {
+                None => pauses += 1,
+                Some(o) => break o,
+            }
+        };
+        assert!(pauses > 0, "a 3k-step slice must pause a 10k-inst run");
+        assert_eq!(outcome.result, whole.result);
+        // note_outcome caches baseline profiles exactly like run() does.
+        let fresh = BenchmarkRunner::new(10_000, 7);
+        assert!(!fresh.has_profile(Benchmark::Gzip));
+        fresh.note_outcome(&outcome);
+        assert!(fresh.has_profile(Benchmark::Gzip));
+        assert_eq!(
+            fresh.profile_for(Benchmark::Gzip).len(),
+            whole.result.profile.len()
+        );
     }
 
     #[test]

@@ -51,5 +51,5 @@ pub mod processor;
 pub mod telemetry;
 
 pub use config::{ArchParams, ClockingMode, SimConfig};
-pub use processor::McdProcessor;
+pub use processor::{McdProcessor, StepOutcome};
 pub use telemetry::{DomainTrace, HostStats, IntervalRecord, SimResult};

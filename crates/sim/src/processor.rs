@@ -45,6 +45,48 @@ use crate::telemetry::{DomainTrace, HostStats, IntervalRecord, SimResult};
 /// serialized main-memory misses commits every ~100 ns).
 const COMMIT_WATCHDOG_PS: TimePs = 200_000_000;
 
+/// Outcome of one [`McdProcessor::run_for`] slice.
+///
+/// A paused run is resumable from exactly where it stopped: every piece of
+/// loop-carried simulation state (front end, in-flight slab, event queues,
+/// LSQ, clock/ramp state, controller state, telemetry accumulators, the
+/// livelock watchdog and the host wall-clock accumulator) lives in the
+/// processor, so the sequence of slice boundaries is invisible to the
+/// simulated machine and the final [`SimResult`] is bit-identical no matter
+/// how the run was sliced.
+// `Finished` carries the full telemetry; the size gap to the unit `Paused`
+// variant is intentional — the value is matched once per slice, never
+// stored in bulk.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum StepOutcome {
+    /// The cycle budget of the slice was exhausted before the run finished;
+    /// call [`McdProcessor::run_for`] again (with the same stream) to
+    /// continue.
+    Paused,
+    /// The run completed and produced its telemetry.  The processor must
+    /// not be stepped again.
+    Finished(SimResult),
+}
+
+/// Loop-carried state of the main event loop that is not part of the
+/// simulated machine itself: established on the first kernel step and kept
+/// in the processor so a run can pause and resume at any cycle boundary.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RunState {
+    /// Simulated time of the first pending edge when the run started
+    /// (`None` until the first `run_for` call).
+    pub(crate) start_ps: Option<TimePs>,
+    /// Livelock watchdog: committed-instruction count and simulated time of
+    /// the most recent forward progress.
+    pub(crate) last_commit_check: (u64, TimePs),
+    /// Host wall-clock seconds spent inside `run_for` so far, summed across
+    /// all slices (which may execute on different worker threads).
+    pub(crate) wall_seconds: f64,
+    /// Set when the run finished; stepping a finished processor panics.
+    pub(crate) done: bool,
+}
+
 /// Per-domain interval counters feeding the controller.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct DomainIntervalCounters {
@@ -123,7 +165,18 @@ pub struct McdProcessor {
     pub(crate) last_commit_ps: TimePs,
     pub(crate) intervals: Vec<IntervalRecord>,
     pub(crate) profile: OfflineProfile,
+
+    // Main-loop state surviving across `run_for` pauses.
+    pub(crate) run_state: RunState,
 }
+
+// The slice scheduler in `mcd-core` moves paused processors between worker
+// threads; everything inside (including the boxed controller, whose trait
+// requires `Send`) must be owned state.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<McdProcessor>();
+};
 
 impl McdProcessor {
     /// Builds a processor from a configuration and a frequency controller.
@@ -219,6 +272,7 @@ impl McdProcessor {
             last_commit_ps: 0,
             intervals: Vec::new(),
             profile: OfflineProfile::new(),
+            run_state: RunState::default(),
             clocks,
             sync,
             table,
@@ -392,64 +446,128 @@ impl McdProcessor {
     /// instruction budget is committed or the stream is exhausted and the
     /// pipeline has drained.  Returns the run telemetry.
     ///
+    /// Equivalent to a single unbounded [`McdProcessor::run_for`] slice.
+    ///
     /// # Panics
     ///
     /// Panics if the simulation makes no forward progress for an extended
     /// period (an internal invariant violation, not a legitimate outcome).
     pub fn run<S: InstructionStream>(&mut self, mut stream: S) -> SimResult {
-        let wall_start = Instant::now();
-        let start_ps = self
-            .clocks
-            .iter()
-            .map(|c| c.next_edge_ps())
-            .min()
-            .unwrap_or(0);
-        let mut last_commit_check = (0u64, start_ps);
-
         loop {
+            if let StepOutcome::Finished(result) = self.run_for(&mut stream, u64::MAX) {
+                return result;
+            }
+        }
+    }
+
+    /// Runs at most `max_cycles` kernel steps (one step = one domain-clock
+    /// edge of one domain) and pauses, or finishes the run if the
+    /// instruction budget is reached or the stream drains first.
+    ///
+    /// The slice boundary is invisible to the simulated machine: all
+    /// loop-carried state lives in the processor, so any sequence of
+    /// `run_for` calls — with any slice lengths, on any threads — produces
+    /// a [`SimResult`] bit-identical to an unsliced [`McdProcessor::run`],
+    /// provided every call resumes with the same (stateful) stream.  Host
+    /// wall-clock is accumulated across slices, so the final
+    /// [`HostStats`] describe the whole run, not the last slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cycles` is zero (a zero budget makes no progress, so
+    /// the documented resume loop would spin forever), if called again
+    /// after it returned [`StepOutcome::Finished`], or on a livelock (no
+    /// commit for an extended simulated period).
+    pub fn run_for<S: InstructionStream>(
+        &mut self,
+        stream: &mut S,
+        max_cycles: u64,
+    ) -> StepOutcome {
+        assert!(max_cycles > 0, "slice budget must be positive");
+        assert!(
+            !self.run_state.done,
+            "run_for called on a finished processor"
+        );
+        let wall_start = Instant::now();
+        if self.run_state.start_ps.is_none() {
+            let start_ps = self
+                .clocks
+                .iter()
+                .map(|c| c.next_edge_ps())
+                .min()
+                .unwrap_or(0);
+            self.run_state.start_ps = Some(start_ps);
+            self.run_state.last_commit_check = (0, start_ps);
+        }
+
+        let mut steps = 0u64;
+        let finished = loop {
             if self.committed >= self.config.max_instructions {
-                break;
+                break true;
             }
             if self.stream_done
                 && self.fetch_buffer.is_empty()
                 && self.rob.is_empty()
                 && self.inflight.is_empty()
             {
-                break;
+                break true;
             }
+            if steps >= max_cycles {
+                break false;
+            }
+            steps += 1;
 
-            // Pick the on-chip domain with the earliest pending edge.
-            let domain = mcd_clock::ON_CHIP_DOMAINS
-                .iter()
-                .copied()
-                .min_by_key(|d| self.clocks[d.index()].next_edge_ps())
-                .expect("there are always four on-chip domains");
+            // Pick the on-chip domain with the earliest pending edge: a
+            // fixed two-round tournament over the four domains.  Ties must
+            // break in `ON_CHIP_DOMAINS` order (front end first) — `<=`
+            // keeps the earlier position on equal edges in both rounds,
+            // reproducing the first-minimum semantics the historical
+            // `min_by_key` over `ON_CHIP_DOMAINS` had.  Clocks are always
+            // addressed through `DomainId::index`, so the tournament stays
+            // correct even if the domain order or index mapping changes.
+            const D: [DomainId; 4] = mcd_clock::ON_CHIP_DOMAINS;
+            let edges = [
+                self.clocks[D[0].index()].next_edge_ps(),
+                self.clocks[D[1].index()].next_edge_ps(),
+                self.clocks[D[2].index()].next_edge_ps(),
+                self.clocks[D[3].index()].next_edge_ps(),
+            ];
+            let a = usize::from(edges[0] > edges[1]);
+            let b = 2 + usize::from(edges[2] > edges[3]);
+            let domain = D[if edges[a] <= edges[b] { a } else { b }];
             let now = self.clocks[domain.index()].advance();
 
             match domain {
-                DomainId::FrontEnd => self.frontend_cycle(now, &mut stream),
+                DomainId::FrontEnd => self.frontend_cycle(now, stream),
                 DomainId::Integer | DomainId::FloatingPoint => self.exec_domain_cycle(domain, now),
                 DomainId::LoadStore => self.loadstore_cycle(now),
                 DomainId::External => {}
             }
 
             // Watchdog against livelock.
-            if self.committed > last_commit_check.0 {
-                last_commit_check = (self.committed, now);
-            } else if now.saturating_sub(last_commit_check.1) > COMMIT_WATCHDOG_PS {
+            if self.committed > self.run_state.last_commit_check.0 {
+                self.run_state.last_commit_check = (self.committed, now);
+            } else if now.saturating_sub(self.run_state.last_commit_check.1) > COMMIT_WATCHDOG_PS {
                 panic!(
                     "simulator livelock: no commit for {} ps at instruction {}",
-                    now - last_commit_check.1,
+                    now - self.run_state.last_commit_check.1,
                     self.committed
                 );
             }
-        }
+        };
 
-        self.finish(start_ps, wall_start)
+        self.run_state.wall_seconds += wall_start.elapsed().as_secs_f64();
+        if finished {
+            self.run_state.done = true;
+            StepOutcome::Finished(self.finish())
+        } else {
+            StepOutcome::Paused
+        }
     }
 
-    fn finish(&mut self, start_ps: TimePs, wall_start: Instant) -> SimResult {
+    fn finish(&mut self) -> SimResult {
         self.controller.finish();
+        let start_ps = self.run_state.start_ps.unwrap_or(0);
         let elapsed = self.last_commit_ps.saturating_sub(start_ps).max(1);
         let avg_domain_freq_mhz = CONTROLLABLE_DOMAINS
             .iter()
@@ -464,8 +582,9 @@ impl McdProcessor {
             })
             .collect();
 
-        let wall_seconds = wall_start.elapsed().as_secs_f64();
-        let host = HostStats::from_run(self.committed, wall_seconds);
+        // Wall-clock accumulated over every slice of the run (slices may
+        // have executed on different worker threads).
+        let host = HostStats::from_run(self.committed, self.run_state.wall_seconds);
 
         SimResult {
             committed_instructions: self.committed,
@@ -715,5 +834,129 @@ mod tests {
         let mut cfg = SimConfig::baseline_mcd(0);
         cfg.max_instructions = 0;
         let _ = McdProcessor::new(cfg, Box::new(FixedController::at_max()));
+    }
+
+    /// Runs `bench` pausing every `slice` kernel steps; the slice
+    /// boundaries must be invisible in the result.
+    fn run_sliced(bench: Benchmark, insts: u64, cfg: SimConfig, slice: u64) -> (SimResult, u64) {
+        let mut stream = WorkloadGenerator::new(&bench.spec(), 42, insts);
+        let mut cpu = McdProcessor::new(cfg, Box::new(FixedController::at_max()));
+        let mut pauses = 0;
+        loop {
+            match cpu.run_for(&mut stream, slice) {
+                StepOutcome::Paused => pauses += 1,
+                StepOutcome::Finished(r) => return (r, pauses),
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_run_is_bit_identical_to_unsliced() {
+        let insts = 8_000;
+        let unsliced = run_benchmark(
+            Benchmark::Gzip,
+            insts,
+            SimConfig::baseline_mcd(insts),
+            Box::new(FixedController::at_max()),
+        );
+        for slice in [1_000, 7, 1] {
+            let (sliced, pauses) = run_sliced(
+                Benchmark::Gzip,
+                insts,
+                SimConfig::baseline_mcd(insts),
+                slice,
+            );
+            assert!(pauses > 0, "slice {slice} must actually pause");
+            assert_eq!(sliced, unsliced, "slice length {slice} changed the result");
+        }
+        // A slice larger than the whole run finishes without pausing.
+        let (big, pauses) = run_sliced(
+            Benchmark::Gzip,
+            insts,
+            SimConfig::baseline_mcd(insts),
+            u64::MAX,
+        );
+        assert_eq!(pauses, 0);
+        assert_eq!(big, unsliced);
+    }
+
+    #[test]
+    fn sliced_host_stats_accumulate_across_slices() {
+        // HostStats must describe the whole run, not the last slice.  Time
+        // every slice externally: the reported wall-clock must be close to
+        // the externally measured total (it can never exceed it, and a
+        // regression to "last slice only" would report a small fraction of
+        // it), and the simulated MIPS must be derived from that total.
+        let insts = 5_000;
+        let mut stream = WorkloadGenerator::new(&Benchmark::Gzip.spec(), 42, insts);
+        let mut cpu = McdProcessor::new(
+            SimConfig::baseline_mcd(insts),
+            Box::new(FixedController::at_max()),
+        );
+        let mut external_total = 0.0f64;
+        let mut slices = Vec::new();
+        let r = loop {
+            let t = Instant::now();
+            let outcome = cpu.run_for(&mut stream, 500);
+            let elapsed = t.elapsed().as_secs_f64();
+            external_total += elapsed;
+            slices.push(elapsed);
+            if let StepOutcome::Finished(r) = outcome {
+                break r;
+            }
+        };
+        assert!(slices.len() > 10, "the run must have spanned many slices");
+        assert!(
+            r.host.wall_seconds <= external_total,
+            "reported wall-clock cannot exceed the externally timed total"
+        );
+        let max_slice = slices.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            r.host.wall_seconds > external_total - 2.0 * max_slice,
+            "reported wall-clock ({}) must cover (nearly) all {} slices \
+             (external total {external_total}), not just the last one",
+            r.host.wall_seconds,
+            slices.len()
+        );
+        let implied_mips = r.committed_instructions as f64 / r.host.wall_seconds / 1e6;
+        assert!(
+            (r.host.simulated_mips - implied_mips).abs() < 1e-9,
+            "simulated MIPS must be derived from the accumulated wall-clock"
+        );
+    }
+
+    #[test]
+    fn run_for_reports_paused_until_finished() {
+        let insts = 2_000;
+        let mut stream = WorkloadGenerator::new(&Benchmark::Adpcm.spec(), 42, insts);
+        let mut cpu = McdProcessor::new(
+            SimConfig::baseline_mcd(insts),
+            Box::new(FixedController::at_max()),
+        );
+        // One kernel step cannot commit the whole budget.
+        assert!(matches!(cpu.run_for(&mut stream, 1), StepOutcome::Paused));
+        assert!(cpu.committed < insts);
+        let r = loop {
+            if let StepOutcome::Finished(r) = cpu.run_for(&mut stream, 10_000) {
+                break r;
+            }
+        };
+        assert_eq!(r.committed_instructions, insts);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished processor")]
+    fn stepping_a_finished_processor_panics() {
+        let mut stream = WorkloadGenerator::new(&Benchmark::Adpcm.spec(), 42, 500);
+        let mut cpu = McdProcessor::new(
+            SimConfig::baseline_mcd(500),
+            Box::new(FixedController::at_max()),
+        );
+        loop {
+            if let StepOutcome::Finished(_) = cpu.run_for(&mut stream, u64::MAX) {
+                break;
+            }
+        }
+        let _ = cpu.run_for(&mut stream, 1);
     }
 }

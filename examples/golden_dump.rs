@@ -12,13 +12,38 @@
 //! # ... hack on the kernel ...
 //! cargo run --release --example golden_dump > after.txt && diff before.txt after.txt
 //! ```
+//!
+//! **Sliced mode:** setting `MCD_GOLDEN_SLICE=<kernel steps>` executes
+//! every run through repeated `run_for` pauses of that length instead of
+//! one unbounded `run`.  The output must be byte-identical to the default
+//! mode — this is how the golden matrix also certifies pause/resume
+//! bit-identity:
+//!
+//! ```sh
+//! cargo run --release --example golden_dump > unsliced.txt
+//! MCD_GOLDEN_SLICE=10000 cargo run --release --example golden_dump > sliced.txt
+//! diff unsliced.txt sliced.txt      # any output = slicing changed behaviour
+//! ```
 
 use mcd::clock::OperatingPointTable;
 use mcd::control::{
     AttackDecayController, AttackDecayParams, FixedController, FrequencyController,
 };
-use mcd::sim::{McdProcessor, SimConfig};
+use mcd::sim::{McdProcessor, SimConfig, StepOutcome};
 use mcd::workloads::{Benchmark, WorkloadGenerator};
+
+/// The slice length selected by `MCD_GOLDEN_SLICE`, if any.  An invalid
+/// or zero value aborts instead of silently falling back to the unsliced
+/// mode — otherwise a typo would make the sliced-vs-unsliced CI diff
+/// compare two unsliced dumps and certify pause/resume vacuously.
+fn golden_slice() -> Option<u64> {
+    let value = std::env::var("MCD_GOLDEN_SLICE").ok()?;
+    let steps: u64 = value
+        .parse()
+        .unwrap_or_else(|_| panic!("MCD_GOLDEN_SLICE must be a positive integer, got {value:?}"));
+    assert!(steps > 0, "MCD_GOLDEN_SLICE must be positive, got 0");
+    Some(steps)
+}
 
 fn dump(
     name: &str,
@@ -27,9 +52,16 @@ fn dump(
     cfg: SimConfig,
     ctrl: Box<dyn FrequencyController>,
 ) {
-    let stream = WorkloadGenerator::new(&bench.spec(), 42, insts);
+    let mut stream = WorkloadGenerator::new(&bench.spec(), 42, insts);
     let mut cpu = McdProcessor::new(cfg, ctrl);
-    let r = cpu.run(stream);
+    let r = match golden_slice() {
+        None => cpu.run(stream),
+        Some(slice) => loop {
+            if let StepOutcome::Finished(r) = cpu.run_for(&mut stream, slice) {
+                break r;
+            }
+        },
+    };
     println!(
         "{name}: committed={} fe_cycles={} elapsed_ps={} energy={:?} mem={} redirects={} freqs={:?}",
         r.committed_instructions,

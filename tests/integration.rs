@@ -25,6 +25,7 @@ fn quick_settings(benchmarks: Vec<Benchmark>) -> ExperimentSettings {
         global_search_iters: 3,
         parallel: true,
         jobs: None,
+        slice_cycles: None,
     }
 }
 

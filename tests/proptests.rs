@@ -12,8 +12,10 @@ use mcd::microarch::{
     Cache, CacheConfig, IssueQueue, LoadStoreQueue, LsqIssue, ReorderBuffer, RobEntry,
 };
 use mcd::power::{EnergyAccount, EnergyParams, Structure};
+use mcd::sim::{McdProcessor, SimConfig, SimResult, StepOutcome};
 use mcd::workloads::{
-    BranchBehavior, InstructionMix, MemoryBehavior, Phase, WorkloadGenerator, WorkloadSpec,
+    Benchmark, BranchBehavior, InstructionMix, MemoryBehavior, Phase, WorkloadGenerator,
+    WorkloadSpec,
 };
 
 proptest! {
@@ -338,6 +340,67 @@ proptest! {
             prop_assert_eq!(map.producer(Reg::int(31)), None);
             prop_assert_eq!(map.producer(Reg::fp(31)), None);
         }
+    }
+}
+
+/// Runs `bench` for `insts` instructions under the baseline MCD
+/// configuration, pausing at the given slice boundaries (cycled through
+/// repeatedly until the run finishes).  An empty sequence means one
+/// unbounded slice.
+fn run_with_slices(bench: Benchmark, insts: u64, slices: &[u64]) -> SimResult {
+    let mut stream = WorkloadGenerator::new(&bench.spec(), 42, insts);
+    let mut cpu = McdProcessor::new(
+        SimConfig::baseline_mcd(insts),
+        Box::new(mcd::control::FixedController::at_max()),
+    );
+    let mut boundary = slices.iter().copied().cycle();
+    loop {
+        let slice = boundary.next().unwrap_or(u64::MAX);
+        if let StepOutcome::Finished(r) = cpu.run_for(&mut stream, slice) {
+            return r;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Pause/resume bit-identity of the simulation kernel: for *any*
+    /// sequence of slice boundaries — including single-step slices and
+    /// slices far larger than the whole run — a sliced execution must
+    /// produce a `SimResult` equal to the unsliced run (host-throughput
+    /// telemetry is excluded from equality by design).  This is the
+    /// invariant the work-stealing experiment engine rests on: it makes
+    /// the scheduler's slice boundaries (and therefore worker count,
+    /// migration pattern and slice length) invisible in every result.
+    #[test]
+    fn sliced_runs_are_bit_identical_for_random_slice_boundaries(
+        raw_slices in proptest::collection::vec((0u8..4, 0u64..45_000), 1..8),
+        bench_sel in 0u8..2,
+    ) {
+        // Each drawn pair picks a slice-length class and a magnitude
+        // within it: degenerate single-step slices, small slices (many
+        // pauses), mid-size slices (a handful of pauses), and slices far
+        // larger than the whole run (no pause at all).
+        let slices: Vec<u64> = raw_slices
+            .iter()
+            .map(|&(class, magnitude)| match class {
+                0 => 1,
+                1 => 2 + magnitude % 200,
+                2 => 5_000 + magnitude,
+                _ => 1_000_000 + magnitude,
+            })
+            .collect();
+        let bench = if bench_sel == 0 { Benchmark::Gzip } else { Benchmark::Swim };
+        let insts = 4_000;
+        let unsliced = run_with_slices(bench, insts, &[]);
+        let sliced = run_with_slices(bench, insts, &slices);
+        prop_assert!(
+            sliced == unsliced,
+            "slice sequence {:?} changed the result",
+            slices
+        );
+        prop_assert_eq!(sliced.committed_instructions, insts);
     }
 }
 
