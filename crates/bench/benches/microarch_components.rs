@@ -143,6 +143,12 @@ fn bench_workload_generation(c: &mut Criterion) {
 /// CI bench-smoke job can archive the kernel-throughput trajectory per
 /// commit.  Must be registered last in the criterion group: it drains the
 /// result accumulator.
+///
+/// Alongside the timings, one instrumented run per kernel-bench workload
+/// records the event-timeline traffic counters (pushes, pops, overflow
+/// spills, bucket scans — see `mcd_sim::EventTrafficStats`), making the
+/// heap-vs-calendar trade and any overflow pathology measurable per
+/// workload per commit.
 fn export_results(c: &mut Criterion) {
     let results = c.take_results();
     if results.is_empty() {
@@ -161,6 +167,31 @@ fn export_results(c: &mut Criterion) {
         })
         .collect();
     doc.insert("benches", rows);
+    let traffic: Vec<serde_json::Value> = [
+        (Benchmark::Gzip, "gzip"),
+        (Benchmark::Swim, "swim"),
+        (Benchmark::Mcf, "mcf"),
+    ]
+    .iter()
+    .map(|&(bench, name)| {
+        let stream = WorkloadGenerator::new(&bench.spec(), 42, 20_000);
+        let mut cpu = McdProcessor::new(
+            SimConfig::baseline_mcd(20_000),
+            Box::new(mcd_control::FixedController::at_max()),
+        );
+        let events = cpu.run(stream).host.events;
+        let mut row = serde_json::Value::object();
+        row.insert("workload", name);
+        row.insert("timeline_pushes", events.pushes);
+        row.insert("timeline_pops", events.pops);
+        row.insert("overflow_spills", events.overflow_spills);
+        row.insert("bucket_scans", events.bucket_scans);
+        row.insert("drain_passes", events.drains);
+        row.insert("avg_bucket_scan", events.avg_bucket_scan());
+        row
+    })
+    .collect();
+    doc.insert("event_traffic", traffic);
     mcd_bench::write_artifact("BENCH_kernel_micro.json", &doc.to_string_pretty());
 }
 

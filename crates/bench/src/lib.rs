@@ -30,10 +30,11 @@ use mcd_core::experiments::ExperimentSettings;
 
 /// Returns the experiment settings selected by the `MCD_FULL` environment
 /// variable (the paper's full suite when set to `1`, otherwise the quick
-/// subset), with the worker count from `--jobs N` / `-j N` and the
-/// scheduler slice granularity from `--slice-cycles N` on the command line
-/// (each falling back to its environment variable, `MCD_JOBS` /
-/// `MCD_SLICE_CYCLES`, then to the built-in default).
+/// subset), with the worker count from `--jobs N` / `-j N`, the scheduler
+/// slice granularity from `--slice-cycles N` and the scheduler admission
+/// cap from `--max-live-runs N` on the command line (each falling back to
+/// its environment variable, `MCD_JOBS` / `MCD_SLICE_CYCLES` /
+/// `MCD_MAX_LIVE_RUNS`, then to the built-in default).
 pub fn settings_from_env() -> ExperimentSettings {
     let mut settings = if std::env::var("MCD_FULL").map(|v| v == "1").unwrap_or(false) {
         ExperimentSettings::paper()
@@ -46,6 +47,9 @@ pub fn settings_from_env() -> ExperimentSettings {
     if let Some(slice) = slice_cycles_from_args(std::env::args()) {
         settings = settings.with_slice_cycles(slice);
     }
+    if let Some(cap) = max_live_runs_from_args(std::env::args()) {
+        settings = settings.with_max_live_runs(cap);
+    }
     settings
 }
 
@@ -57,6 +61,12 @@ pub fn jobs_from_args(args: impl IntoIterator<Item = String>) -> Option<usize> {
 /// Parses `--slice-cycles N` or `--slice-cycles=N` from an argument list.
 pub fn slice_cycles_from_args(args: impl IntoIterator<Item = String>) -> Option<u64> {
     flag_value(args, &["--slice-cycles"], "--slice-cycles=")
+}
+
+/// Parses `--max-live-runs N` or `--max-live-runs=N` from an argument
+/// list (`0` = unbounded residency).
+pub fn max_live_runs_from_args(args: impl IntoIterator<Item = String>) -> Option<usize> {
+    flag_value(args, &["--max-live-runs"], "--max-live-runs=")
 }
 
 fn flag_value<T: std::str::FromStr>(
@@ -196,6 +206,20 @@ mod tests {
         let both = args(&["bin", "--jobs", "4", "--slice-cycles", "9"]);
         assert_eq!(jobs_from_args(both.clone()), Some(4));
         assert_eq!(slice_cycles_from_args(both), Some(9));
+    }
+
+    #[test]
+    fn max_live_runs_flag_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            max_live_runs_from_args(args(&["bin", "--max-live-runs", "8"])),
+            Some(8)
+        );
+        assert_eq!(
+            max_live_runs_from_args(args(&["bin", "--max-live-runs=0"])),
+            Some(0)
+        );
+        assert_eq!(max_live_runs_from_args(args(&["bin"])), None);
     }
 
     #[test]

@@ -208,6 +208,25 @@ impl DomainClock {
         self.ramp.target()
     }
 
+    /// The clock period at the target frequency, i.e. the period this clock
+    /// settles to once any in-flight ramp completes.
+    ///
+    /// This is the period-to-cycle conversion calendar-queue structures key
+    /// their buckets on: unlike [`DomainClock::current_period_ps`] it is
+    /// *stable across a ramp* — it changes only at
+    /// [`DomainClock::set_target_freq`], never edge by edge — so a
+    /// time-to-bucket mapping quantized by it stays consistent between an
+    /// event's push and its drain, and consumers need to re-index their
+    /// buckets only when the controller retargets the domain.  During a
+    /// ramp the instantaneous period deviates from this value by at most
+    /// the old/new frequency ratio, which bounds the extra buckets a drain
+    /// scans; it never affects *when* events fire (due-ness is always
+    /// checked against absolute time).
+    #[inline]
+    pub fn target_period_ps(&self) -> TimePs {
+        self.settled_period_ps
+    }
+
     /// Whether a frequency transition is still in flight.
     pub fn is_ramping(&self) -> bool {
         self.ramp.is_ramping(self.next_edge_ps)
@@ -386,6 +405,21 @@ mod tests {
             clk.advance();
             assert!(clk.next_edge_ps() > prev);
             prev = clk.next_edge_ps();
+        }
+    }
+
+    #[test]
+    fn target_period_is_stable_across_a_ramp() {
+        let mut clk = DomainClock::new(DomainId::Integer, 1000.0, 49.1, 0.0, 5);
+        assert_eq!(clk.target_period_ps(), 1000);
+        clk.set_target_freq(500.0);
+        // The settled period flips immediately at the retarget and then
+        // stays put while the instantaneous period ramps toward it.
+        assert_eq!(clk.target_period_ps(), 2000);
+        for _ in 0..1_000 {
+            clk.advance();
+            assert_eq!(clk.target_period_ps(), 2000);
+            assert!(clk.current_period_ps() <= 2000);
         }
     }
 

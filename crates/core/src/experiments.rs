@@ -45,6 +45,12 @@ pub struct ExperimentSettings {
     /// [`crate::engine::DEFAULT_SLICE_CYCLES`]).  Slice boundaries never
     /// affect simulated results.
     pub slice_cycles: Option<u64>,
+    /// Admission cap of the slice scheduler: maximum runs begun but not
+    /// yet finished, bounding resident simulator state (None: the
+    /// `MCD_MAX_LIVE_RUNS` environment variable, then `4 * workers`;
+    /// `Some(0)`: unbounded).  Admission order never affects simulated
+    /// results.
+    pub max_live_runs: Option<usize>,
 }
 
 impl ExperimentSettings {
@@ -67,6 +73,7 @@ impl ExperimentSettings {
             parallel: true,
             jobs: None,
             slice_cycles: None,
+            max_live_runs: None,
         }
     }
 
@@ -82,6 +89,7 @@ impl ExperimentSettings {
             parallel: true,
             jobs: None,
             slice_cycles: None,
+            max_live_runs: None,
         }
     }
 
@@ -110,6 +118,13 @@ impl ExperimentSettings {
     /// scheduler itself).
     pub fn with_slice_cycles(mut self, slice_cycles: u64) -> Self {
         self.slice_cycles = Some(slice_cycles);
+        self
+    }
+
+    /// Builder-style override of the scheduler's admission cap (`0` =
+    /// unbounded residency, the pre-cap behaviour).
+    pub fn with_max_live_runs(mut self, max_live_runs: usize) -> Self {
+        self.max_live_runs = Some(max_live_runs);
         self
     }
 
@@ -730,6 +745,7 @@ mod tests {
             parallel: true,
             jobs: None,
             slice_cycles: None,
+            max_live_runs: None,
         }
     }
 
@@ -844,6 +860,7 @@ mod tests {
             parallel: true,
             jobs: None,
             slice_cycles: None,
+            max_live_runs: None,
         });
         let fig = figure4::from_outcomes(&outcomes);
         assert_eq!(fig.rows.len(), 2);
@@ -883,6 +900,7 @@ mod tests {
             parallel: true,
             jobs: None,
             slice_cycles: None,
+            max_live_runs: None,
         };
         let sweep = sensitivity::sweep_decay(&settings, &[0.0005, 0.0075]);
         assert_eq!(sweep.points.len(), 2);

@@ -5,6 +5,7 @@ use mcd_isa::SeqNum;
 use mcd_microarch::FuKind;
 use mcd_power::Structure;
 
+use crate::events::EventKind;
 use crate::processor::McdProcessor;
 
 impl McdProcessor {
@@ -16,13 +17,15 @@ impl McdProcessor {
         let voltage = self.voltage(domain);
         let period = self.clock(domain).current_period_ps();
 
-        // ---- Writeback of finished executions ----
-        // Same-domain completions push wakeup events at exactly `now`, so
-        // consumers of this cycle's writebacks can issue this very cycle —
-        // the promotion below must run after the drain.
-        self.drain_completions(domain, now);
+        // ---- Writeback + wakeup promotion (one timeline drain) ----
+        // Both event streams of this domain drain in a single pass; a
+        // same-domain completion pushes its consumers' wakeup events at
+        // exactly `now` and the drain loop picks them up before returning,
+        // so consumers of this cycle's writebacks can issue this very
+        // cycle.
+        self.drain_events(domain, now);
 
-        // ---- Wakeup / select / issue ----
+        // ---- Select / issue ----
         let issue_width = if domain == DomainId::Integer {
             self.config.arch.int_issue_width
         } else {
@@ -33,11 +36,8 @@ impl McdProcessor {
         // visible here by `now` — there is nothing left to probe, and
         // instructions waiting on producers are never examined at all.
         // The scratch copy exists only because issue mutates the list.
-        let inflight = &self.inflight;
-        self.wakeups
-            .promote_due(domain, now, |seq| inflight.is_waiting(seq));
         let mut candidates = std::mem::take(&mut self.scratch_seqs);
-        candidates.extend_from_slice(self.wakeups.ready(domain));
+        candidates.extend_from_slice(self.timeline.ready(domain));
 
         let mut issued = 0usize;
         for &seq in &candidates {
@@ -89,9 +89,10 @@ impl McdProcessor {
                 self.energy.record_access(Structure::FpRegFile, 2, voltage);
                 self.energy.record_access(Structure::FpAlu, 1, voltage);
             }
-            self.wakeups.remove_ready(domain, seq);
+            self.timeline.remove_ready(domain, seq);
             self.inflight.mark_issued(seq);
-            self.completions.push(domain, now + latency_ps.max(1), seq);
+            self.timeline
+                .push_completion(domain, now + latency_ps.max(1), seq);
             issued += 1;
         }
         candidates.clear();
@@ -128,15 +129,56 @@ impl McdProcessor {
         self.accumulate_freq(domain);
     }
 
-    /// Applies writeback for every pending completion of `domain` whose
-    /// time has arrived, in deterministic `(time, seq)` order.
-    pub(crate) fn drain_completions(&mut self, domain: DomainId, now: TimePs) {
-        while let Some((t, seq)) = self.completions.pop_due(domain, now) {
-            self.writeback(seq, t.max(now), domain);
+    /// Drains every timeline event of `domain` due at `now` in one pass:
+    /// completions apply writeback in deterministic `(time, seq)` order
+    /// (wakeups tagged after completions at equal keys), and due wakeups of
+    /// still-waiting instructions fold into the domain's ready list in one
+    /// sorted-merge batch.  Loops until the timeline comes back empty, so
+    /// wakeup events pushed *by this cycle's writebacks* at exactly `now`
+    /// (same-domain consumers) are promoted before the cycle's select
+    /// stage runs.
+    #[inline]
+    pub(crate) fn drain_events(&mut self, domain: DomainId, now: TimePs) {
+        // The overwhelmingly common cycle has nothing due: settle it with
+        // the timeline's one-comparison fast path before any loop setup.
+        if !self.timeline.has_due(domain, now) {
+            return;
         }
+        let mut due = std::mem::take(&mut self.scratch_events);
+        let mut woken = std::mem::take(&mut self.scratch_ready);
+        loop {
+            self.timeline.collect_due(domain, now, &mut due);
+            if due.is_empty() && woken.is_empty() {
+                break;
+            }
+            for ev in &due {
+                match ev.kind {
+                    EventKind::Completion => {
+                        self.writeback(ev.seq, ev.time.max(now), domain, &mut woken)
+                    }
+                    // Wakeup events may be stale: an instruction re-woken
+                    // earlier by a producer's retirement has already left
+                    // the waiting set when its original event fires.
+                    EventKind::Wakeup => {
+                        if self.inflight.is_waiting(ev.seq) {
+                            woken.push(ev.seq);
+                        }
+                    }
+                }
+            }
+            self.timeline.extend_ready(domain, &mut woken);
+        }
+        self.scratch_events = due;
+        self.scratch_ready = woken;
     }
 
-    pub(crate) fn writeback(&mut self, seq: SeqNum, t: TimePs, domain: DomainId) {
+    pub(crate) fn writeback(
+        &mut self,
+        seq: SeqNum,
+        t: TimePs,
+        domain: DomainId,
+        same_cycle: &mut Vec<SeqNum>,
+    ) {
         let visible = self.visibility_vector(t, domain);
         // Completion flips the hot flags, pushes this result's visibility
         // to every waiting consumer, and returns the cold payload carrying
@@ -145,12 +187,21 @@ impl McdProcessor {
         let completed = self.inflight.complete(seq, visible, &mut woken);
         // Route the consumers whose last outstanding producer this was:
         // memory operations wake through the LSQ's operand-readiness
-        // times, execution-domain instructions through the wakeup heaps.
+        // times, execution-domain instructions through their domain's
+        // timeline — except same-domain consumers ready at exactly this
+        // writeback time (the dependence-chain common case: same-domain
+        // visibility needs no synchronization crossing), which short-cut
+        // into the current drain's ready batch instead of round-tripping
+        // through a timeline push and a same-cycle re-drain.
         for &(consumer, consumer_domain, ready_at) in &woken {
             if consumer_domain == DomainId::LoadStore {
                 self.lsq.set_ready_at(consumer, ready_at);
+            } else if consumer_domain == domain && ready_at <= t {
+                debug_assert!(self.inflight.is_waiting(consumer), "freshly woken");
+                same_cycle.push(consumer);
             } else {
-                self.wakeups.push(consumer_domain, ready_at, consumer);
+                self.timeline
+                    .push_wakeup(consumer_domain, ready_at, consumer);
             }
         }
         woken.clear();

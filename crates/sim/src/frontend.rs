@@ -239,7 +239,7 @@ impl McdProcessor {
                     if target_domain == DomainId::LoadStore {
                         self.lsq.set_ready_at(inst.seq, ready_at);
                     } else {
-                        self.wakeups.push(target_domain, ready_at, inst.seq);
+                        self.timeline.push_wakeup(target_domain, ready_at, inst.seq);
                     }
                 }
             }
@@ -297,7 +297,8 @@ impl McdProcessor {
             if consumer_domain == DomainId::LoadStore {
                 self.lsq.lower_ready_at(consumer, ready_at);
             } else {
-                self.wakeups.push(consumer_domain, ready_at, consumer);
+                self.timeline
+                    .push_wakeup(consumer_domain, ready_at, consumer);
             }
         }
         rewoken.clear();

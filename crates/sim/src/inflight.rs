@@ -49,11 +49,12 @@
 //!   stop waiting for its cross-domain result visibility the moment the
 //!   retirement is observable — each affected source contribution is
 //!   lowered to the retire time, and already-woken consumers are re-queued
-//!   at their (possibly earlier) readiness time.  The simulator's wakeup
-//!   queues deduplicate, so re-wakeups are safe;
+//!   at their (possibly earlier) readiness time.  The timeline's ready-list
+//!   merge deduplicates, so re-wakeups are safe;
 //! * the simulator queues each woken `(consumer, ready-time)` pair in its
-//!   domain (`events::WakeupQueues` for the execution domains, the LSQ's
-//!   operand-readiness times for memory operations) and never probes
+//!   domain (a wakeup event on the domain's calendar timeline —
+//!   [`crate::events::DomainTimeline`] — for the execution domains, the
+//!   LSQ's operand-readiness times for memory operations) and never probes
 //!   operands again.
 //!
 //! An instruction is therefore examined only when its state actually
@@ -422,8 +423,9 @@ impl InFlightTable {
     /// visibility they were woken for.  Each matching source contribution
     /// is lowered to `now` and consumers with no outstanding producers are
     /// appended to `rewoken` with their recomputed readiness time; the
-    /// caller re-queues them (the wakeup queues deduplicate, so a consumer
-    /// that was already woken at a later time is simply promoted earlier).
+    /// caller re-queues them (the timeline's ready lists deduplicate, so a
+    /// consumer that was already woken at a later time is simply promoted
+    /// earlier).
     pub(crate) fn remove(
         &mut self,
         seq: SeqNum,

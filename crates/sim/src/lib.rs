@@ -42,7 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
-mod events;
+pub mod events;
 mod exec;
 mod frontend;
 mod inflight;
@@ -51,5 +51,6 @@ pub mod processor;
 pub mod telemetry;
 
 pub use config::{ArchParams, ClockingMode, SimConfig};
+pub use events::{DomainTimeline, EventKind, TimelineEvent};
 pub use processor::{McdProcessor, StepOutcome};
-pub use telemetry::{DomainTrace, HostStats, IntervalRecord, SimResult};
+pub use telemetry::{DomainTrace, EventTrafficStats, HostStats, IntervalRecord, SimResult};

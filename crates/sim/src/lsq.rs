@@ -13,10 +13,12 @@ impl McdProcessor {
         let period = self.clock(domain).current_period_ps();
 
         // ---- Writeback of finished memory operations ----
-        // Completing producers push each waiting memory operation's
-        // operand-readiness time straight into the LSQ (see `writeback`),
-        // so the promotion below is a pure time comparison per entry.
-        self.drain_completions(domain, now);
+        // One timeline drain; the load/store domain's timeline only ever
+        // carries completion events, because completing producers push each
+        // waiting memory operation's operand-readiness time straight into
+        // the LSQ (see `writeback`) — the promotion below is then a pure
+        // time comparison per entry.
+        self.drain_events(domain, now);
 
         // ---- Address-readiness update ----
         self.lsq.promote_operand_readiness(now);
@@ -63,7 +65,7 @@ impl McdProcessor {
             if let Some(done_at) = completion {
                 self.lsq.mark_issued(seq);
                 self.inflight.mark_issued(seq);
-                self.completions.push(domain, done_at, seq);
+                self.timeline.push_completion(domain, done_at, seq);
                 issued += 1;
             }
         }

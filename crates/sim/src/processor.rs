@@ -15,7 +15,8 @@
 //! * `exec` — the integer/floating-point domains' wakeup-select-issue
 //!   cycle plus writeback;
 //! * `lsq` — the load/store domain's cycle and the cache hierarchy timing;
-//! * `events` — per-domain completion-event min-heaps;
+//! * `events` — the per-domain calendar-queue timelines carrying tagged
+//!   completion/wakeup events plus the ready lists they feed;
 //! * `inflight` — the dense, ROB-indexed in-flight instruction slab.
 //!
 //! This file owns the processor structure, construction, the control
@@ -36,7 +37,7 @@ use mcd_microarch::{
 use mcd_power::EnergyAccount;
 
 use crate::config::{ClockingMode, SimConfig};
-use crate::events::{CompletionQueues, WakeupQueues};
+use crate::events::{DomainTimeline, TimelineEvent};
 use crate::inflight::{InFlightTable, Woken};
 use crate::telemetry::{DomainTrace, HostStats, IntervalRecord, SimResult};
 
@@ -133,11 +134,11 @@ pub struct McdProcessor {
     pub(crate) mem_fus: FuPool,
     pub(crate) l1d: Cache,
     pub(crate) l2: Cache,
-    /// Pending completion events, one min-heap per domain.
-    pub(crate) completions: CompletionQueues,
-    /// Pending readiness events and per-domain ready lists (event-driven
+    /// The unified per-domain event machinery: calendar-queue timelines
+    /// carrying tagged completion/wakeup events, drained once per domain
+    /// cycle, plus the seq-sorted ready lists the wakeups feed (event-driven
     /// wakeup: producers push, the select stage never re-probes).
-    pub(crate) wakeups: WakeupQueues,
+    pub(crate) timeline: DomainTimeline,
 
     // In-flight instruction table (dense ROB-indexed slab).
     pub(crate) inflight: InFlightTable,
@@ -149,6 +150,10 @@ pub struct McdProcessor {
     pub(crate) scratch_seqs: Vec<SeqNum>,
     /// Reusable scratch buffer for the consumers woken by one writeback.
     pub(crate) scratch_woken: Vec<Woken>,
+    /// Reusable scratch buffer for one timeline drain batch.
+    pub(crate) scratch_events: Vec<TimelineEvent>,
+    /// Reusable scratch buffer for the ready-list merge of one drain.
+    pub(crate) scratch_ready: Vec<SeqNum>,
 
     // Energy.
     pub(crate) energy: EnergyAccount,
@@ -231,6 +236,14 @@ impl McdProcessor {
             config.clock.sync_window_ps
         });
 
+        // Calendar buckets are quantized by each domain's settled period;
+        // `end_interval` re-quantizes when the controller retargets a
+        // domain.
+        let mut granules = [0; 5];
+        for d in DomainId::ALL {
+            granules[d.index()] = clocks[d.index()].target_period_ps();
+        }
+
         McdProcessor {
             predictor: BranchPredictor::new(config.arch.branch_predictor.clone()),
             l1i: Cache::new(config.arch.l1i),
@@ -254,12 +267,13 @@ impl McdProcessor {
             int_fus: FuPool::new(FuPoolConfig::integer_domain()),
             fp_fus: FuPool::new(FuPoolConfig::fp_domain()),
             mem_fus: FuPool::new(FuPoolConfig::loadstore_domain()),
-            completions: CompletionQueues::new(),
-            wakeups: WakeupQueues::new(),
+            timeline: DomainTimeline::new(granules),
             inflight: InFlightTable::new(config.arch.rob_size),
             pending_predictions: VecDeque::with_capacity(config.arch.fetch_buffer_size),
             scratch_seqs: Vec::with_capacity(config.arch.lsq_size.max(config.arch.rob_size)),
             scratch_woken: Vec::with_capacity(config.arch.rob_size),
+            scratch_events: Vec::with_capacity(config.arch.rob_size),
+            scratch_ready: Vec::with_capacity(config.arch.rob_size),
             energy: EnergyAccount::new(config.energy.clone()),
             committed: 0,
             mispredict_redirects: 0,
@@ -417,7 +431,14 @@ impl McdProcessor {
                 continue;
             }
             let point = self.table.nearest(cmd.target_freq_mhz);
-            self.clocks[cmd.domain.index()].set_target_freq(point.freq_mhz);
+            let clock = &mut self.clocks[cmd.domain.index()];
+            clock.set_target_freq(point.freq_mhz);
+            // Keep the calendar's time-to-bucket quantization in step with
+            // the domain's settled period (a no-op when the target period
+            // is unchanged; re-indexes the domain's pending events
+            // otherwise).
+            self.timeline
+                .set_granule(cmd.domain, clock.target_period_ps());
         }
 
         if self.config.record_traces {
@@ -584,7 +605,8 @@ impl McdProcessor {
 
         // Wall-clock accumulated over every slice of the run (slices may
         // have executed on different worker threads).
-        let host = HostStats::from_run(self.committed, self.run_state.wall_seconds);
+        let mut host = HostStats::from_run(self.committed, self.run_state.wall_seconds);
+        host.events = self.timeline.stats();
 
         SimResult {
             committed_instructions: self.committed,

@@ -41,6 +41,43 @@ impl IntervalRecord {
     }
 }
 
+/// Event-queue traffic of one run: how hard the kernel's per-domain
+/// calendar timelines (`sim/src/events.rs`) worked.
+///
+/// These counters quantify the heap-vs-calendar trade per workload — the
+/// push/pop volume the queues carry, how many pushes missed the bucket
+/// ring and spilled to the sorted overflow list, and how many buckets the
+/// drains scanned — so a queue pathology (e.g. a workload whose events
+/// constantly overflow the ring horizon) is visible in the
+/// `BENCH_kernel_micro.json` artefact instead of silently degrading
+/// throughput.  Host-side telemetry only: like the rest of [`HostStats`],
+/// excluded from [`SimResult`] equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventTrafficStats {
+    /// Events scheduled (completions + wakeups, all domains).
+    pub pushes: u64,
+    /// Events delivered by timeline drains.
+    pub pops: u64,
+    /// Pushes that landed beyond the bucket ring's horizon and went to the
+    /// sorted overflow list (includes re-files during granule changes).
+    pub overflow_spills: u64,
+    /// Ring buckets examined across all drains (the calendar's scan cost).
+    pub bucket_scans: u64,
+    /// Timeline drain passes (one or more per domain cycle).
+    pub drains: u64,
+}
+
+impl EventTrafficStats {
+    /// Average number of ring buckets examined per drain pass.
+    pub fn avg_bucket_scan(&self) -> f64 {
+        if self.drains == 0 {
+            0.0
+        } else {
+            self.bucket_scans as f64 / self.drains as f64
+        }
+    }
+}
+
 /// Host-side (simulator, not simulated) throughput of one run.
 ///
 /// These numbers describe how fast the simulation itself executed, so the
@@ -55,6 +92,8 @@ pub struct HostStats {
     pub wall_seconds: f64,
     /// Simulated millions of committed instructions per wall-clock second.
     pub simulated_mips: f64,
+    /// Event-timeline traffic counters of the run.
+    pub events: EventTrafficStats,
 }
 
 impl HostStats {
@@ -76,6 +115,7 @@ impl HostStats {
         HostStats {
             wall_seconds,
             simulated_mips,
+            events: EventTrafficStats::default(),
         }
     }
 }

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Render the bench-job artefacts as a GitHub job-summary markdown table.
+
+Usage:
+    bench_summary.py results/BENCH_kernel_micro.json results/BENCH_engine_scaling.json
+
+Reads the kernel micro-bench artefact (per-bench timings plus the
+event-timeline traffic counters) and the engine-scaling artefact, and
+prints GitHub-flavoured markdown suitable for appending to
+``$GITHUB_STEP_SUMMARY``.  Missing files are reported but do not fail the
+job — the summary is advisory, the artefacts are the record.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except OSError as err:
+        print(f"_bench summary: could not read `{path}`: {err}_\n")
+        return None
+
+
+def kernel_micro(doc):
+    print("### Kernel throughput (`microarch_components`)\n")
+    rows = [r for r in doc.get("benches", []) if r["id"].startswith("processor_run_")]
+    if rows:
+        print("| bench | ms/iter |")
+        print("|---|---|")
+        for r in rows:
+            print(f"| `{r['id']}` | {r['ns_per_iter'] / 1e6:.2f} |")
+        print()
+    traffic = doc.get("event_traffic", [])
+    if traffic:
+        print("### Event-timeline traffic (20k-instruction runs)\n")
+        print("| workload | pushes | pops | overflow spills | bucket scans | avg scan/pass |")
+        print("|---|---|---|---|---|---|")
+        for t in traffic:
+            print(
+                f"| {t['workload']} | {t['timeline_pushes']} | {t['timeline_pops']} "
+                f"| {t['overflow_spills']} | {t['bucket_scans']} "
+                f"| {t['avg_bucket_scan']:.2f} |"
+            )
+        print()
+
+
+def engine_scaling(doc):
+    print("### Engine scaling (sliced vs run-granularity)\n")
+    ratio = doc.get("sliced_over_unsliced_speedup")
+    print(f"- workers: **{doc.get('workers')}**, slice: {doc.get('slice_cycles')} steps")
+    print(f"- sliced wall: {doc.get('wall_seconds', 0):.2f}s, "
+          f"run-granularity wall: {doc.get('unsliced_wall_seconds', 0):.2f}s")
+    if ratio is not None:
+        print(f"- **sliced_over_unsliced_speedup: {ratio:.3f}x** "
+              "(track in ROADMAP's multicore-validation open item)")
+    if doc.get("serial_fallback"):
+        print("- WARNING: worker count resolved to 1 — the ratio measures nothing")
+    print()
+
+
+def main(argv):
+    for path in argv[1:]:
+        doc = load(path)
+        if doc is None:
+            continue
+        if doc.get("experiment") == "kernel_micro":
+            kernel_micro(doc)
+        elif doc.get("experiment") == "engine_scaling":
+            engine_scaling(doc)
+        else:
+            print(f"_bench summary: `{path}` has unknown experiment kind_\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

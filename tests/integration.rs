@@ -26,6 +26,7 @@ fn quick_settings(benchmarks: Vec<Benchmark>) -> ExperimentSettings {
         parallel: true,
         jobs: None,
         slice_cycles: None,
+        max_live_runs: None,
     }
 }
 

@@ -12,7 +12,9 @@ use mcd::microarch::{
     Cache, CacheConfig, IssueQueue, LoadStoreQueue, LsqIssue, ReorderBuffer, RobEntry,
 };
 use mcd::power::{EnergyAccount, EnergyParams, Structure};
-use mcd::sim::{McdProcessor, SimConfig, SimResult, StepOutcome};
+use mcd::sim::{
+    DomainTimeline, EventKind, McdProcessor, SimConfig, SimResult, StepOutcome, TimelineEvent,
+};
 use mcd::workloads::{
     Benchmark, BranchBehavior, InstructionMix, MemoryBehavior, Phase, WorkloadGenerator,
     WorkloadSpec,
@@ -328,6 +330,78 @@ proptest! {
             let high = params.access_energy(s);
             prop_assert!(low <= high + 1e-12);
         }
+    }
+
+    /// The per-domain calendar-queue timeline must drain *exactly* the
+    /// events a reference binary min-heap would pop, in the same
+    /// `(time, seq, kind)` order, on arbitrary event streams: random times
+    /// (including far-future events beyond the ring horizon, which take
+    /// the sorted-overflow path), random sequence numbers and kinds
+    /// (exercising the completion-before-wakeup tie-break), pushes
+    /// interleaved with drains at random time steps, and mid-stream bucket
+    /// granule changes (as the controller retargets a domain's period),
+    /// which force a full re-index.
+    #[test]
+    fn timeline_drains_match_a_reference_heap(
+        ops in proptest::collection::vec(
+            (0u8..8, 0u64..600_000, 0u64..64, 0u8..2, 1u64..5_000),
+            1..200,
+        ),
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let domain = DomainId::Integer;
+        let granule = 1_000;
+        let mut timeline = DomainTimeline::new([granule; 5]);
+        let mut reference: BinaryHeap<Reverse<TimelineEvent>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut out = Vec::new();
+        let drain_and_compare = |timeline: &mut DomainTimeline,
+                                     reference: &mut BinaryHeap<Reverse<TimelineEvent>>,
+                                     now: u64,
+                                     out: &mut Vec<TimelineEvent>|
+         -> Result<(), TestCaseError> {
+            timeline.collect_due(domain, now, out);
+            let mut expected = Vec::new();
+            while reference.peek().is_some_and(|Reverse(ev)| ev.time <= now) {
+                expected.push(reference.pop().expect("peeked").0);
+            }
+            prop_assert_eq!(&expected[..], &out[..]);
+            Ok(())
+        };
+        for (op, delta, seq, kind_sel, new_granule) in ops {
+            match op {
+                // Push (biased: most ops schedule near-future events; the
+                // range reaches past the 128-bucket ring horizon so some
+                // take the overflow path).
+                0..=4 => {
+                    let time = now + delta;
+                    let kind = if kind_sel == 0 {
+                        timeline.push_completion(domain, time, seq);
+                        EventKind::Completion
+                    } else {
+                        timeline.push_wakeup(domain, time, seq);
+                        EventKind::Wakeup
+                    };
+                    reference.push(Reverse(TimelineEvent { time, seq, kind }));
+                }
+                // Advance time and drain; both structures must yield the
+                // same events in the same order.
+                5 | 6 => {
+                    now += delta % 20_000;
+                    drain_and_compare(&mut timeline, &mut reference, now, &mut out)?;
+                }
+                // Mid-stream period change: re-quantizes every pending
+                // bucket (the drain order must be unaffected).
+                _ => timeline.set_granule(domain, new_granule),
+            }
+        }
+        // Final drain far past every scheduled event: nothing may be lost.
+        now += 10_000_000;
+        drain_and_compare(&mut timeline, &mut reference, now, &mut out)?;
+        prop_assert!(reference.is_empty());
+        prop_assert_eq!(timeline.stats().pushes, timeline.stats().pops);
     }
 
     /// The rename map never reports the zero register as having a producer.

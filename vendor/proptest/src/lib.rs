@@ -129,7 +129,7 @@ macro_rules! impl_tuple_strategy {
     )+};
 }
 
-impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
 
 /// Collection strategies (mirror of `proptest::collection`).
 pub mod collection {
