@@ -50,7 +50,21 @@ pub fn settings_from_env() -> ExperimentSettings {
     if let Some(cap) = max_live_runs_from_args(std::env::args()) {
         settings = settings.with_max_live_runs(cap);
     }
+    if bool_flag(std::env::args(), "--no-trace-share") {
+        settings = settings.with_share_traces(false);
+    }
+    if bool_flag(std::env::args(), "--no-result-cache") {
+        settings = settings.with_result_cache(false);
+    }
     settings
+}
+
+/// Returns whether `name` appears as a bare flag in the argument list
+/// (used for `--no-trace-share` / `--no-result-cache`; the matching
+/// environment escape hatches are `MCD_NO_TRACE_SHARE=1` /
+/// `MCD_NO_RESULT_CACHE=1`).
+pub fn bool_flag(args: impl IntoIterator<Item = String>, name: &str) -> bool {
+    args.into_iter().any(|a| a == name)
 }
 
 /// Parses `--jobs N`, `--jobs=N` or `-j N` from an argument list.
@@ -112,6 +126,11 @@ pub fn write_bench_json(
     );
     doc.insert("simulated_instructions", stats.simulated_instructions);
     doc.insert("aggregate_simulated_mips", stats.aggregate_mips);
+    doc.insert("result_cache_hits", stats.result_cache_hits);
+    doc.insert("result_cache_misses", stats.result_cache_misses);
+    doc.insert("trace_cache_hits", stats.trace_cache_hits);
+    doc.insert("trace_materializations", stats.trace_materializations);
+    doc.insert("trace_peak_bytes", stats.trace_peak_bytes);
     for (key, value) in extras {
         doc.insert(key, value.clone());
     }
@@ -232,6 +251,11 @@ mod tests {
             workers: 4,
             slice_cycles: 250_000,
             runs: 15,
+            result_cache_hits: 5,
+            result_cache_misses: 15,
+            trace_cache_hits: 12,
+            trace_materializations: 3,
+            trace_peak_bytes: 640_000,
             wall_seconds: 2.0,
             cumulative_seconds: 6.0,
             simulated_instructions: 900_000,
@@ -245,9 +269,24 @@ mod tests {
             "\"slice_cycles\": 250000",
             "\"parallel_speedup\": 3",
             "\"aggregate_simulated_mips\": 0.45",
+            "\"result_cache_hits\": 5",
+            "\"result_cache_misses\": 15",
+            "\"trace_cache_hits\": 12",
+            "\"trace_materializations\": 3",
+            "\"trace_peak_bytes\": 640000",
             "\"benchmarks\": 3",
         ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }
+    }
+
+    #[test]
+    fn cache_disable_flags_are_detected() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(bool_flag(
+            args(&["bin", "--no-trace-share"]),
+            "--no-trace-share"
+        ));
+        assert!(!bool_flag(args(&["bin"]), "--no-result-cache"));
     }
 }

@@ -107,7 +107,8 @@ pub fn slice_cycles(explicit: Option<u64>) -> u64 {
 /// The default keeps peak memory at `O(workers)` instead of `O(jobs)`
 /// while still over-admitting enough (4x) that a long run admitted within
 /// the first wave cannot serialize the plan's tail.  Admission order is
-/// plan order; see `run_sliced` for the rotation policy.
+/// cost-estimate order (see [`admission_priority`]); see `run_sliced` for
+/// the rotation policy.
 ///
 /// # Panics
 ///
@@ -123,6 +124,66 @@ pub fn max_live_runs(explicit: Option<usize>, workers: usize) -> usize {
             })
         })
         .unwrap_or(4 * workers.max(1))
+}
+
+/// Parses an `MCD_NO_*` disable knob: unset or `0` leaves the feature
+/// enabled, `1` disables it.
+///
+/// # Panics
+///
+/// Panics on any other value — a requested escape hatch must not be
+/// silently ignored (matching [`slice_cycles`]'s strictness), or an A/B
+/// run with a typoed `MCD_NO_RESULT_CACHE=yes` would measure the cached
+/// path twice.
+fn env_disabled_knob(var: &str) -> Option<bool> {
+    std::env::var(var).ok().map(|v| match v.as_str() {
+        "0" => true,
+        "1" => false,
+        _ => panic!("{var} must be 0 or 1, got {v:?}"),
+    })
+}
+
+/// Resolves whether runs memoize their results: an explicit request
+/// wins, then the `MCD_NO_RESULT_CACHE` environment variable (`1`
+/// disables), then enabled.
+pub fn result_caching_enabled(explicit: Option<bool>) -> bool {
+    explicit
+        .or_else(|| env_disabled_knob("MCD_NO_RESULT_CACHE"))
+        .unwrap_or(true)
+}
+
+/// Resolves whether same-workload runs share one materialized
+/// instruction trace: an explicit request wins, then the
+/// `MCD_NO_TRACE_SHARE` environment variable (`1` disables), then
+/// enabled.
+pub fn trace_sharing_enabled(explicit: Option<bool>) -> bool {
+    explicit
+        .or_else(|| env_disabled_knob("MCD_NO_TRACE_SHARE"))
+        .unwrap_or(true)
+}
+
+/// Estimated relative host cost of simulating `bench`, used to order
+/// admission under a bounded [`max_live_runs`] cap (longest runs first).
+///
+/// All jobs of a plan share one instruction budget, so run length varies
+/// only with how many *cycles* a benchmark needs per instruction — which
+/// is dominated by memory behaviour: a large footprint overflows the
+/// warmed caches and every pointer-chasing load serializes on the memory
+/// latency.  The weight is a phase-weighted sum of a footprint term
+/// (saturating at 16 MiB) and the pointer-chase fraction, scaled to an
+/// integer.  The absolute value is meaningless; only the order matters,
+/// and it puts the mcf-class memory-bound runs at the head of the
+/// admission queue so they cannot straggle behind the cap at the plan's
+/// tail.
+pub fn admission_priority(bench: Benchmark) -> u64 {
+    let spec = bench.spec();
+    let mut weight = 0.0;
+    for p in &spec.phases {
+        let mib = p.memory.footprint_bytes as f64 / (1024.0 * 1024.0);
+        let cost = 1.0 + mib.min(16.0) / 4.0 + p.memory.pointer_chase_fraction;
+        weight += p.weight * cost;
+    }
+    (weight * 1_000.0) as u64
 }
 
 /// Applies `f` to every item on `workers` scoped threads and returns the
@@ -181,8 +242,9 @@ struct SliceQueue {
 }
 
 struct SliceState {
-    /// Jobs not yet begun, in plan order; the claiming worker constructs
-    /// the simulator, so construction parallelizes across workers.
+    /// Jobs not yet begun, in admission-priority order (see
+    /// [`run_sliced`]); the claiming worker constructs the simulator, so
+    /// construction parallelizes across workers.
     pending: VecDeque<usize>,
     /// Paused runs, each tagged with its output slot.  `pop_front` /
     /// `push_back` rotates fairly through the admitted runs, so every
@@ -202,8 +264,8 @@ impl SliceQueue {
     /// Blocks until a task can be claimed; `None` once no live runs remain
     /// (or a sibling worker panicked).  Admission-first under the cap:
     /// while fewer than `max_live` runs are resident, new jobs are claimed
-    /// in plan order (incrementing `admitted`); otherwise workers rotate
-    /// through the parked runs.  With an unbounded cap this reproduces the
+    /// in admission-priority order (incrementing `admitted`); otherwise
+    /// workers rotate through the parked runs.  With an unbounded cap this reproduces the
     /// historical single-deque FIFO exactly: all jobs begin before any
     /// paused run is resumed.
     fn claim(&self) -> Option<(usize, Option<Box<PausableRun>>)> {
@@ -291,30 +353,41 @@ impl Drop for PoisonOnPanic<'_> {
 /// historical behaviour — every run starts at plan start and rotates
 /// fairly, so the plan's wall-clock approaches
 /// `max(total_work / workers, longest_run)` at the cost of O(jobs) peak
-/// memory.  A bounded cap admits jobs in plan order as residency slots
-/// free up, cutting peak memory to `O(max_live)`; the default of
-/// `4 * workers` (see [`max_live_runs`]) over-admits enough that a long
-/// run in the first admission wave cannot recreate the late-long-run tail
-/// for typical plans.  Admitted runs always rotate fairly regardless of
-/// the cap.
-pub(crate) fn run_sliced<B, F>(
+/// memory.  A bounded cap admits jobs as residency slots free up, cutting
+/// peak memory to `O(max_live)`; the default of `4 * workers` (see
+/// [`max_live_runs`]) over-admits enough that a long run in the first
+/// admission wave cannot recreate the late-long-run tail for typical
+/// plans.  Admitted runs always rotate fairly regardless of the cap.
+///
+/// `priority(i)` orders *admission*: jobs are begun highest priority
+/// first (ties in plan order), so expensive runs (see
+/// [`admission_priority`]) enter in the first wave instead of landing
+/// behind the cap at the plan's tail and serializing it.  Priority never
+/// affects results — outcomes stay in job order and each run is a pure
+/// function of its inputs.
+pub(crate) fn run_sliced<B, F, P>(
     workers: usize,
     slice_cycles: u64,
     max_live: usize,
     n: usize,
+    priority: P,
     begin: B,
     on_finish: F,
 ) -> Vec<RunOutcome>
 where
     B: Fn(usize) -> PausableRun + Sync,
     F: Fn(&RunOutcome) + Sync,
+    P: Fn(usize) -> u64,
 {
     if n == 0 {
         return Vec::new();
     }
+    let mut admission_order: Vec<usize> = (0..n).collect();
+    // Stable sort: equal priorities keep plan order.
+    admission_order.sort_by_key(|&i| std::cmp::Reverse(priority(i)));
     let queue = SliceQueue {
         state: Mutex::new(SliceState {
-            pending: (0..n).collect(),
+            pending: admission_order.into(),
             parked: VecDeque::new(),
             admitted: 0,
             live: n,
@@ -436,8 +509,22 @@ pub struct EngineStats {
     /// `u64::MAX` request and for single-worker executions, which take the
     /// serial path and never slice).
     pub slice_cycles: u64,
-    /// Simulation jobs executed (including prerequisite profiling runs).
+    /// Simulations actually executed (including prerequisite profiling
+    /// runs, excluding jobs served from the result cache).
     pub runs: usize,
+    /// Plan jobs served from the result cache without simulating.
+    pub result_cache_hits: u64,
+    /// Result-cache probes that found nothing (each is one simulation;
+    /// zero when caching is disabled).
+    pub result_cache_misses: u64,
+    /// Runs that reused an already-materialized shared trace.
+    pub trace_cache_hits: u64,
+    /// Instruction traces materialized (generator runs) for the plan.
+    pub trace_materializations: u64,
+    /// High-water mark of trace bytes the trace cache kept strongly
+    /// referenced (pinned registrations plus the recent ring) — the
+    /// plan's peak trace-memory cost.
+    pub trace_peak_bytes: u64,
     /// Wall-clock time of the whole plan in seconds.
     pub wall_seconds: f64,
     /// Sum of the per-run wall-clock times (what a fully serial execution
@@ -472,7 +559,9 @@ impl ExperimentEngine {
         };
         ExperimentEngine {
             runner: BenchmarkRunner::new(settings.instructions, settings.seed)
-                .with_interval(settings.interval_instructions),
+                .with_interval(settings.interval_instructions)
+                .with_trace_sharing(trace_sharing_enabled(settings.share_traces))
+                .with_result_caching(result_caching_enabled(settings.result_cache)),
             workers,
             slice_cycles: slice_cycles(settings.slice_cycles),
             max_live_runs: max_live_runs(settings.max_live_runs, workers),
@@ -504,6 +593,13 @@ impl ExperimentEngine {
     /// Executes `specs` to completion and returns outcomes in spec order:
     /// serially for a single worker, through the work-stealing slice
     /// scheduler otherwise.
+    ///
+    /// On the parallel path the result cache is probed once per job up
+    /// front (the serial path probes inside [`BenchmarkRunner::run`]);
+    /// only the misses are scheduled, with their expected trace leases
+    /// registered so same-workload runs share one materialization even
+    /// when the admission cap keeps them from overlapping.  Admission is
+    /// ordered by [`admission_priority`].
     fn execute_jobs(&self, specs: &[JobSpec]) -> Vec<RunOutcome> {
         if self.workers == 1 {
             return specs
@@ -511,14 +607,57 @@ impl ExperimentEngine {
                 .map(|job| self.runner.run(job.benchmark, &job.config))
                 .collect();
         }
-        run_sliced(
-            self.workers,
-            self.slice_cycles,
-            self.max_live_runs,
-            specs.len(),
-            |i| self.runner.begin(specs[i].benchmark, &specs[i].config),
-            |outcome| self.runner.note_outcome(outcome),
-        )
+        let mut outcomes: Vec<Option<RunOutcome>> = specs
+            .iter()
+            .map(|job| self.runner.cached_result(job.benchmark, &job.config))
+            .collect();
+        for hit in outcomes.iter().flatten() {
+            // A served repeat still feeds the profile cache (a memoized
+            // baseline run carries its profile in the result).
+            self.runner.note_outcome(hit);
+        }
+        let misses: Vec<usize> = (0..specs.len())
+            .filter(|&i| outcomes[i].is_none())
+            .collect();
+        if !misses.is_empty() {
+            if let Some(cache) = self.runner.trace_cache() {
+                let mut uses: HashMap<crate::cache::TraceKey, usize> = HashMap::new();
+                for &i in &misses {
+                    *uses
+                        .entry(self.runner.trace_key(specs[i].benchmark))
+                        .or_insert(0) += 1;
+                }
+                for (key, count) in uses {
+                    cache.register(key, count);
+                }
+            }
+            let priorities: Vec<u64> = misses
+                .iter()
+                .map(|&i| admission_priority(specs[i].benchmark))
+                .collect();
+            let fresh = run_sliced(
+                self.workers,
+                self.slice_cycles,
+                self.max_live_runs,
+                misses.len(),
+                |j| priorities[j],
+                |j| {
+                    let job = &specs[misses[j]];
+                    self.runner.begin(job.benchmark, &job.config)
+                },
+                |outcome| {
+                    self.runner.note_outcome(outcome);
+                    self.runner.memoize(outcome);
+                },
+            );
+            for (j, outcome) in fresh.into_iter().enumerate() {
+                outcomes[misses[j]] = Some(outcome);
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every job resolved by cache or simulation"))
+            .collect()
     }
 
     /// Executes the plan and returns its outcomes in plan order.
@@ -529,6 +668,8 @@ impl ExperimentEngine {
     /// Executes the plan, also returning host-side statistics.
     pub fn execute_with_stats(&self, plan: &RunPlan) -> (Vec<RunOutcome>, EngineStats) {
         let started = Instant::now();
+        let results_before = self.runner.result_cache_stats();
+        let traces_before = self.runner.trace_cache_stats();
 
         // Phase 1 — prerequisite profiling runs, deduplicated through the
         // shared cache.  The baseline outcome itself is kept so that a
@@ -575,20 +716,30 @@ impl ExperimentEngine {
 
         let wall_seconds = started.elapsed().as_secs_f64();
         // Count each simulation once: plan outcomes that reused a phase-1
-        // baseline run are clones, not fresh runs.
+        // baseline run are clones, not fresh runs, and jobs served from
+        // the result cache never simulated at all.
         let fresh_plan_outcomes = plan
             .jobs
             .iter()
             .zip(outcomes.iter())
             .filter(|(job, _)| !reused(job))
             .map(|(_, o)| o);
-        let all_runs = baseline_outcomes.values().chain(fresh_plan_outcomes);
-        let runs = prerequisites.len() + fresh.len();
+        let simulated: Vec<&RunOutcome> = baseline_outcomes
+            .values()
+            .chain(fresh_plan_outcomes)
+            .filter(|o| !o.result.host.result_cache_hit)
+            .collect();
+        let runs = simulated.len();
+        let results_after = self.runner.result_cache_stats();
+        let traces_after = self.runner.trace_cache_stats();
         // Per-run host stats already aggregate across each run's slices
         // (regardless of which workers executed them), so the plan-level
         // cumulative cost is a plain sum.
-        let cumulative_seconds: f64 = all_runs.clone().map(|o| o.result.host.wall_seconds).sum();
-        let simulated_instructions: u64 = all_runs.map(|o| o.result.committed_instructions).sum();
+        let cumulative_seconds: f64 = simulated.iter().map(|o| o.result.host.wall_seconds).sum();
+        let simulated_instructions: u64 = simulated
+            .iter()
+            .map(|o| o.result.committed_instructions)
+            .sum();
         let stats = EngineStats {
             workers: self.workers,
             // The serial path never slices; report run-at-a-time rather
@@ -599,6 +750,11 @@ impl ExperimentEngine {
                 self.slice_cycles
             },
             runs,
+            result_cache_hits: results_after.hits - results_before.hits,
+            result_cache_misses: results_after.misses - results_before.misses,
+            trace_cache_hits: traces_after.hits - traces_before.hits,
+            trace_materializations: traces_after.materializations - traces_before.materializations,
+            trace_peak_bytes: traces_after.peak_resident_bytes,
             wall_seconds,
             cumulative_seconds,
             simulated_instructions,
@@ -675,6 +831,7 @@ mod tests {
             2_000,
             0, // unbounded residency
             specs.len(),
+            |_| 0,
             |i| {
                 begun.fetch_add(1, Ordering::Relaxed);
                 let (b, c) = &specs[i];
@@ -728,6 +885,7 @@ mod tests {
             1_000,
             cap,
             specs.len(),
+            |_| 0,
             |i| {
                 let now = live.fetch_add(1, Ordering::SeqCst) + 1;
                 peak.fetch_max(now, Ordering::SeqCst);
@@ -748,6 +906,7 @@ mod tests {
             1_000,
             0,
             specs.len(),
+            |_| 0,
             |i| {
                 let (b, c) = &specs[i];
                 runner.begin(*b, c)
@@ -799,6 +958,8 @@ mod tests {
             jobs: Some(2),
             slice_cycles: Some(3_000),
             max_live_runs: None,
+            share_traces: None,
+            result_cache: None,
         };
         let engine = ExperimentEngine::from_settings(&settings);
         assert_eq!(engine.slice_cycles(), 3_000);
@@ -818,5 +979,126 @@ mod tests {
             5 * settings.instructions,
             "one simulation per distinct job"
         );
+    }
+
+    #[test]
+    fn admission_priority_ranks_memory_bound_benchmarks_first() {
+        // mcf is the paper's memory-bound straggler: large footprint,
+        // heavy pointer chasing.  It must land at the head of the
+        // admission queue, ahead of the small-footprint kernels.
+        let mcf = admission_priority(Benchmark::Mcf);
+        assert!(mcf > admission_priority(Benchmark::Gzip));
+        assert!(mcf > admission_priority(Benchmark::Adpcm));
+        assert!(mcf > admission_priority(Benchmark::Epic));
+    }
+
+    #[test]
+    fn run_sliced_admits_by_priority_without_reordering_results() {
+        // One worker and a cap of one serialize admission completely, so
+        // the begin order *is* the admission order.
+        let runner = BenchmarkRunner::new(3_000, 13);
+        let specs = [
+            (Benchmark::Adpcm, ConfigKind::BaselineMcd),
+            (Benchmark::Gzip, ConfigKind::BaselineMcd),
+            (Benchmark::Gsm, ConfigKind::BaselineMcd),
+        ];
+        let priorities = [1u64, 3, 2];
+        let begun: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let outcomes = run_sliced(
+            1,
+            1_000,
+            1,
+            specs.len(),
+            |i| priorities[i],
+            |i| {
+                begun.lock().unwrap().push(i);
+                let (b, c) = &specs[i];
+                runner.begin(*b, c)
+            },
+            |_| {},
+        );
+        assert_eq!(
+            *begun.lock().unwrap(),
+            vec![1, 2, 0],
+            "admission must follow descending priority"
+        );
+        // Results stay in job order regardless of admission order.
+        for ((bench, config), outcome) in specs.iter().zip(&outcomes) {
+            assert_eq!(outcome.benchmark, *bench);
+            assert_eq!(outcome.config, *config);
+        }
+    }
+
+    #[test]
+    fn repeat_plan_is_served_entirely_from_the_result_cache() {
+        let settings = ExperimentSettings {
+            benchmarks: vec![Benchmark::Adpcm],
+            instructions: 15_000,
+            interval_instructions: 1_000,
+            seed: 5,
+            global_search_iters: 1,
+            parallel: true,
+            jobs: Some(2),
+            slice_cycles: Some(3_000),
+            max_live_runs: None,
+            share_traces: None,
+            result_cache: None,
+        };
+        let engine = ExperimentEngine::from_settings(&settings);
+        let plan = RunPlan::suite(&[Benchmark::Adpcm]);
+
+        let (first, cold) = engine.execute_with_stats(&plan);
+        assert_eq!(cold.runs, 5);
+        assert_eq!(cold.result_cache_hits, 0);
+        assert_eq!(cold.result_cache_misses, 5, "one probe per simulation");
+        // All five runs of the benchmark shared one materialized trace.
+        assert_eq!(cold.trace_materializations, 1);
+        assert_eq!(cold.trace_cache_hits, 4);
+        assert!(cold.trace_peak_bytes > 0);
+
+        let (second, warm) = engine.execute_with_stats(&plan);
+        assert_eq!(warm.runs, 0, "a repeated plan must not simulate");
+        assert_eq!(warm.result_cache_hits, 5);
+        assert_eq!(warm.result_cache_misses, 0);
+        assert_eq!(warm.simulated_instructions, 0);
+        assert!(second.iter().all(|o| o.result.host.result_cache_hit));
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.result, b.result, "served repeats must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn disabling_the_caches_reproduces_identical_results() {
+        let base = ExperimentSettings {
+            benchmarks: vec![Benchmark::Gzip],
+            instructions: 10_000,
+            interval_instructions: 1_000,
+            seed: 9,
+            global_search_iters: 1,
+            parallel: true,
+            jobs: Some(2),
+            slice_cycles: Some(2_000),
+            max_live_runs: None,
+            share_traces: None,
+            result_cache: None,
+        };
+        let cached = ExperimentEngine::from_settings(&base);
+        let uncached = ExperimentEngine::from_settings(
+            &base
+                .clone()
+                .with_share_traces(false)
+                .with_result_cache(false),
+        );
+        let plan = RunPlan::suite(&[Benchmark::Gzip]);
+        let (a, _) = cached.execute_with_stats(&plan);
+        let (b, stats) = uncached.execute_with_stats(&plan);
+        assert_eq!(stats.result_cache_misses, 0, "caching was disabled");
+        assert_eq!(stats.trace_materializations, 0, "sharing was disabled");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.result, y.result,
+                "trace replay and memoization must never change results"
+            );
+        }
     }
 }

@@ -51,6 +51,16 @@ pub struct ExperimentSettings {
     /// `Some(0)`: unbounded).  Admission order never affects simulated
     /// results.
     pub max_live_runs: Option<usize>,
+    /// Share one materialized instruction trace across same-workload runs
+    /// (None: enabled unless `MCD_NO_TRACE_SHARE=1`).  Traces replay the
+    /// generator bit-identically, so this never affects simulated
+    /// results.
+    pub share_traces: Option<bool>,
+    /// Memoize run results by content hash, serving byte-for-byte repeat
+    /// cells without re-simulating (None: enabled unless
+    /// `MCD_NO_RESULT_CACHE=1`).  Host-side telemetry aside, a served
+    /// repeat is bit-identical to a fresh simulation.
+    pub result_cache: Option<bool>,
 }
 
 impl ExperimentSettings {
@@ -74,6 +84,8 @@ impl ExperimentSettings {
             jobs: None,
             slice_cycles: None,
             max_live_runs: None,
+            share_traces: None,
+            result_cache: None,
         }
     }
 
@@ -90,6 +102,8 @@ impl ExperimentSettings {
             jobs: None,
             slice_cycles: None,
             max_live_runs: None,
+            share_traces: None,
+            result_cache: None,
         }
     }
 
@@ -125,6 +139,18 @@ impl ExperimentSettings {
     /// unbounded residency, the pre-cap behaviour).
     pub fn with_max_live_runs(mut self, max_live_runs: usize) -> Self {
         self.max_live_runs = Some(max_live_runs);
+        self
+    }
+
+    /// Builder-style enable/disable of shared instruction traces.
+    pub fn with_share_traces(mut self, share_traces: bool) -> Self {
+        self.share_traces = Some(share_traces);
+        self
+    }
+
+    /// Builder-style enable/disable of result memoization.
+    pub fn with_result_cache(mut self, result_cache: bool) -> Self {
+        self.result_cache = Some(result_cache);
         self
     }
 
@@ -746,6 +772,8 @@ mod tests {
             jobs: None,
             slice_cycles: None,
             max_live_runs: None,
+            share_traces: None,
+            result_cache: None,
         }
     }
 
@@ -861,6 +889,8 @@ mod tests {
             jobs: None,
             slice_cycles: None,
             max_live_runs: None,
+            share_traces: None,
+            result_cache: None,
         });
         let fig = figure4::from_outcomes(&outcomes);
         assert_eq!(fig.rows.len(), 2);
@@ -901,6 +931,8 @@ mod tests {
             jobs: None,
             slice_cycles: None,
             max_live_runs: None,
+            share_traces: None,
+            result_cache: None,
         };
         let sweep = sensitivity::sweep_decay(&settings, &[0.0005, 0.0075]);
         assert_eq!(sweep.points.len(), 2);

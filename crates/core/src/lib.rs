@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod engine;
 pub mod experiments;
 pub mod metrics;
@@ -45,9 +46,10 @@ pub mod presets;
 pub mod report;
 pub mod runner;
 
+pub use cache::{result_key, ResultCache, ResultCacheStats, TraceCache, TraceCacheStats, TraceKey};
 pub use engine::{
-    parallel_map, slice_cycles, worker_count, EngineStats, ExperimentEngine, JobSpec, RunPlan,
-    DEFAULT_SLICE_CYCLES,
+    admission_priority, parallel_map, result_caching_enabled, slice_cycles, trace_sharing_enabled,
+    worker_count, EngineStats, ExperimentEngine, JobSpec, RunPlan, DEFAULT_SLICE_CYCLES,
 };
 pub use experiments::ExperimentSettings;
 pub use metrics::{suite_average, Comparison, RunMetrics};

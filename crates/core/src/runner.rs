@@ -14,9 +14,15 @@ use mcd_control::{
     AttackDecayController, AttackDecayParams, FixedController, FrequencyController,
     GlobalScalingController, OfflineController, OfflineProfile,
 };
+use mcd_isa::{DynInst, InstructionStream};
 use mcd_sim::{McdProcessor, SimConfig, SimResult, StepOutcome};
-use mcd_workloads::{Benchmark, WorkloadGenerator};
+use mcd_workloads::{Benchmark, TraceCursor, WorkloadGenerator};
 use serde::{Deserialize, Serialize};
+
+use crate::cache::{
+    result_key, ResultCache, ResultCacheStats, TraceCache, TraceCacheStats, TraceKey,
+};
+use crate::engine::{result_caching_enabled, trace_sharing_enabled};
 
 /// Which of the paper's configurations to run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,6 +62,36 @@ impl ConfigKind {
     }
 }
 
+/// The instruction source of one run: a live generator, or a cursor
+/// over a shared materialized trace.  The two are bit-identical by
+/// construction ([`mcd_workloads::SharedTrace`] records a generator run
+/// to completion), so which variant a run uses never affects its
+/// [`SimResult`].
+#[derive(Debug, Clone)]
+pub enum RunStream {
+    /// Generate the stream on the fly (trace sharing disabled).
+    Live(WorkloadGenerator),
+    /// Replay a shared trace (the plan's same-workload runs hold cursors
+    /// into one `Arc<SharedTrace>`).
+    Trace(TraceCursor),
+}
+
+impl InstructionStream for RunStream {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        match self {
+            RunStream::Live(g) => g.next_inst(),
+            RunStream::Trace(c) => c.next_inst(),
+        }
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        match self {
+            RunStream::Live(g) => g.remaining_hint(),
+            RunStream::Trace(c) => c.remaining_hint(),
+        }
+    }
+}
+
 /// A simulation run that can execute in bounded slices.
 ///
 /// Produced by [`BenchmarkRunner::begin`]; the owner repeatedly calls
@@ -69,7 +105,10 @@ pub struct PausableRun {
     benchmark: Benchmark,
     config: ConfigKind,
     cpu: McdProcessor,
-    stream: WorkloadGenerator,
+    stream: RunStream,
+    /// Bytes of the shared trace backing `stream` (0 for live
+    /// generation); stamped into the outcome's host stats at finish.
+    trace_bytes: u64,
 }
 
 impl std::fmt::Debug for PausableRun {
@@ -98,11 +137,14 @@ impl PausableRun {
     pub fn step(&mut self, max_cycles: u64) -> Option<RunOutcome> {
         match self.cpu.run_for(&mut self.stream, max_cycles) {
             StepOutcome::Paused => None,
-            StepOutcome::Finished(result) => Some(RunOutcome {
-                benchmark: self.benchmark,
-                config: self.config.clone(),
-                result,
-            }),
+            StepOutcome::Finished(mut result) => {
+                result.host.trace_bytes = self.trace_bytes;
+                Some(RunOutcome {
+                    benchmark: self.benchmark,
+                    config: self.config.clone(),
+                    result,
+                })
+            }
         }
     }
 }
@@ -142,10 +184,19 @@ pub struct BenchmarkRunner {
     /// the algorithms to act (see DESIGN.md, "Substitutions").
     pub interval_instructions: u64,
     profiles: SharedProfileCache,
+    /// Shared-trace cache; `None` generates streams live
+    /// (`MCD_NO_TRACE_SHARE=1` or [`Self::with_trace_sharing`]).
+    traces: Option<Arc<TraceCache>>,
+    /// Content-addressed result memoization; `None` simulates every run
+    /// (`MCD_NO_RESULT_CACHE=1` or [`Self::with_result_caching`]).
+    results: Option<Arc<ResultCache>>,
 }
 
 impl BenchmarkRunner {
-    /// Creates a runner with the given per-run instruction budget.
+    /// Creates a runner with the given per-run instruction budget.  Trace
+    /// sharing and result caching default to the environment knobs
+    /// (`MCD_NO_TRACE_SHARE` / `MCD_NO_RESULT_CACHE`, both enabled when
+    /// unset).
     pub fn new(instructions: u64, seed: u64) -> Self {
         BenchmarkRunner {
             instructions,
@@ -153,6 +204,8 @@ impl BenchmarkRunner {
             record_traces: false,
             interval_instructions: 10_000,
             profiles: Arc::default(),
+            traces: trace_sharing_enabled(None).then(Arc::default),
+            results: result_caching_enabled(None).then(Arc::default),
         }
     }
 
@@ -166,6 +219,77 @@ impl BenchmarkRunner {
     pub fn with_profile_cache(mut self, cache: SharedProfileCache) -> Self {
         self.profiles = cache;
         self
+    }
+
+    /// Builder-style enable/disable of shared-trace streams.
+    pub fn with_trace_sharing(mut self, enabled: bool) -> Self {
+        self.traces = match (enabled, self.traces.take()) {
+            (true, Some(cache)) => Some(cache),
+            (true, None) => Some(Arc::default()),
+            (false, _) => None,
+        };
+        self
+    }
+
+    /// Builder-style enable/disable of result memoization.
+    pub fn with_result_caching(mut self, enabled: bool) -> Self {
+        self.results = match (enabled, self.results.take()) {
+            (true, Some(cache)) => Some(cache),
+            (true, None) => Some(Arc::default()),
+            (false, _) => None,
+        };
+        self
+    }
+
+    /// The trace cache, when trace sharing is enabled.
+    pub fn trace_cache(&self) -> Option<&Arc<TraceCache>> {
+        self.traces.as_ref()
+    }
+
+    /// Counters of the trace cache (zeros when sharing is disabled).
+    pub fn trace_cache_stats(&self) -> TraceCacheStats {
+        self.traces.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// Counters of the result cache (zeros when caching is disabled).
+    pub fn result_cache_stats(&self) -> ResultCacheStats {
+        self.results.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// The trace-cache key of `bench` under this runner's settings.
+    pub fn trace_key(&self, bench: Benchmark) -> TraceKey {
+        TraceKey::of(&bench.spec(), self.seed, self.instructions)
+    }
+
+    /// The result-cache key of `(bench, kind)` under this runner's
+    /// settings: a stable content hash of everything that determines the
+    /// run's simulated behaviour.
+    pub fn result_key(&self, bench: Benchmark, kind: &ConfigKind) -> u128 {
+        result_key(
+            &bench.spec(),
+            kind,
+            self.seed,
+            self.instructions,
+            self.interval_instructions,
+            self.record_traces,
+        )
+    }
+
+    /// Probes the result cache (counting a hit or a miss).  A hit is a
+    /// clone of the memoized outcome with `host.result_cache_hit` set;
+    /// `None` when caching is disabled or the cell was never simulated.
+    pub fn cached_result(&self, bench: Benchmark, kind: &ConfigKind) -> Option<RunOutcome> {
+        let cache = self.results.as_ref()?;
+        cache.lookup(self.result_key(bench, kind))
+    }
+
+    /// Memoizes a freshly simulated outcome (no-op when caching is
+    /// disabled).  Callers that bypass [`Self::run`] — the engine's slice
+    /// scheduler — invoke this from their finish hook.
+    pub fn memoize(&self, outcome: &RunOutcome) {
+        if let Some(cache) = &self.results {
+            cache.insert(self.result_key(outcome.benchmark, &outcome.config), outcome);
+        }
     }
 
     /// Whether the profile of `bench` is already cached.
@@ -238,16 +362,29 @@ impl BenchmarkRunner {
     /// those as explicit prerequisites so `begin` finds the cache warm.
     pub fn begin(&self, bench: Benchmark, kind: &ConfigKind) -> PausableRun {
         let spec = bench.spec();
-        let stream = WorkloadGenerator::new(&spec, self.seed, self.instructions);
+        let (stream, warm_regions, trace_bytes) = match &self.traces {
+            Some(cache) => {
+                let trace = cache.lease(&spec, self.seed, self.instructions);
+                let bytes = trace.bytes();
+                let regions = trace.warm_regions().to_vec();
+                (RunStream::Trace(trace.cursor()), regions, bytes)
+            }
+            None => (
+                RunStream::Live(WorkloadGenerator::new(&spec, self.seed, self.instructions)),
+                WorkloadGenerator::warm_regions(&spec),
+                0,
+            ),
+        };
         let controller = self.controller(bench, kind);
         let config = self.sim_config(kind);
         let mut cpu = McdProcessor::new(config, controller);
-        cpu.warm_caches(&WorkloadGenerator::warm_regions(&spec));
+        cpu.warm_caches(&warm_regions);
         PausableRun {
             benchmark: bench,
             config: kind.clone(),
             cpu,
             stream,
+            trace_bytes,
         }
     }
 
@@ -264,15 +401,24 @@ impl BenchmarkRunner {
         }
     }
 
-    /// Runs `bench` under `kind` to completion and returns the outcome.
-    /// Takes `&self`: runs are pure functions of the runner's settings, so
-    /// the parallel engine calls this concurrently from its workers.
+    /// Runs `bench` under `kind` to completion and returns the outcome,
+    /// serving a byte-for-byte repeat from the result cache when one is
+    /// memoized.  Takes `&self`: runs are pure functions of the runner's
+    /// settings, so the parallel engine calls this concurrently from its
+    /// workers.
     pub fn run(&self, bench: Benchmark, kind: &ConfigKind) -> RunOutcome {
+        if let Some(hit) = self.cached_result(bench, kind) {
+            // Served repeats still feed the profile cache (a memoized
+            // baseline run carries its profile in the result).
+            self.note_outcome(&hit);
+            return hit;
+        }
         let mut run = self.begin(bench, kind);
         let outcome = run
             .step(u64::MAX)
             .expect("an unbounded slice runs to completion");
         self.note_outcome(&outcome);
+        self.memoize(&outcome);
         outcome
     }
 

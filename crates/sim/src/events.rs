@@ -18,7 +18,7 @@
 //!
 //! # Bucket layout
 //!
-//! Each domain owns a ring of [`BUCKETS`] buckets over absolute simulated
+//! Each domain owns a ring of `BUCKETS` buckets over absolute simulated
 //! time quantized by a per-domain *granule*: bucket `(t / granule) %
 //! BUCKETS` holds the events due in that granule-wide time slice.  The
 //! granule is the domain's **settled clock period**
@@ -529,7 +529,7 @@ impl DomainTimeline {
     }
 
     /// Folds a batch of woken instructions into `domain`'s ready list
-    /// (consumes the batch; see [`ReadyList::extend_sorted`]).
+    /// (consumes the batch; see `ReadyList::extend_sorted`).
     #[inline]
     pub fn extend_ready(&mut self, domain: DomainId, woken: &mut Vec<SeqNum>) {
         self.domains[domain.index()].ready.extend_sorted(woken);

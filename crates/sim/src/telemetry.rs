@@ -94,6 +94,15 @@ pub struct HostStats {
     pub simulated_mips: f64,
     /// Event-timeline traffic counters of the run.
     pub events: EventTrafficStats,
+    /// Bytes of the shared, materialized instruction trace backing this
+    /// run's stream (`0` when the stream was generated live).  Summing
+    /// over the distinct traces of a plan's runs accounts for the peak
+    /// memory the trace-sharing layer adds.
+    pub trace_bytes: u64,
+    /// Whether this result was served from the experiment engine's
+    /// content-addressed result cache instead of a fresh simulation (the
+    /// memoized outcome is bit-identical; only host telemetry differs).
+    pub result_cache_hit: bool,
 }
 
 impl HostStats {
@@ -116,6 +125,8 @@ impl HostStats {
             wall_seconds,
             simulated_mips,
             events: EventTrafficStats::default(),
+            trace_bytes: 0,
+            result_cache_hit: false,
         }
     }
 }

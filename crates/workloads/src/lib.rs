@@ -44,7 +44,9 @@
 pub mod generator;
 pub mod spec;
 pub mod suite;
+pub mod trace;
 
 pub use generator::WorkloadGenerator;
 pub use spec::{BranchBehavior, InstructionMix, MemoryBehavior, Phase, WorkloadSpec};
 pub use suite::{Benchmark, Suite};
+pub use trace::{SharedTrace, TraceCursor};

@@ -24,13 +24,26 @@
 //! MCD_GOLDEN_SLICE=10000 cargo run --release --example golden_dump > sliced.txt
 //! diff unsliced.txt sliced.txt      # any output = slicing changed behaviour
 //! ```
+//!
+//! **Shared-trace mode:** setting `MCD_GOLDEN_TRACE=1` feeds every run a
+//! cursor over a materialized [`mcd::workloads::SharedTrace`] instead of
+//! the live generator — the replay path the experiment engine's trace
+//! cache uses.  The output must again be byte-identical, alone and
+//! combined with `MCD_GOLDEN_SLICE`:
+//!
+//! ```sh
+//! MCD_GOLDEN_TRACE=1 cargo run --release --example golden_dump > traced.txt
+//! diff unsliced.txt traced.txt      # any output = trace replay changed behaviour
+//! ```
 
 use mcd::clock::OperatingPointTable;
 use mcd::control::{
     AttackDecayController, AttackDecayParams, FixedController, FrequencyController,
 };
-use mcd::sim::{McdProcessor, SimConfig, StepOutcome};
-use mcd::workloads::{Benchmark, WorkloadGenerator};
+use mcd::isa::InstructionStream;
+use mcd::sim::{McdProcessor, SimConfig, SimResult, StepOutcome};
+use mcd::workloads::{Benchmark, SharedTrace, WorkloadGenerator};
+use std::sync::Arc;
 
 /// The slice length selected by `MCD_GOLDEN_SLICE`, if any.  An invalid
 /// or zero value aborts instead of silently falling back to the unsliced
@@ -45,6 +58,29 @@ fn golden_slice() -> Option<u64> {
     Some(steps)
 }
 
+/// Whether `MCD_GOLDEN_TRACE` selects shared-trace replay.  Like
+/// [`golden_slice`], anything but `1` or `0` aborts so a typo cannot make
+/// the trace-vs-live CI diff compare two live dumps.
+fn golden_trace() -> bool {
+    match std::env::var("MCD_GOLDEN_TRACE") {
+        Err(_) => false,
+        Ok(v) if v == "0" => false,
+        Ok(v) if v == "1" => true,
+        Ok(v) => panic!("MCD_GOLDEN_TRACE must be 0 or 1, got {v:?}"),
+    }
+}
+
+fn run_to_completion<S: InstructionStream>(cpu: &mut McdProcessor, mut stream: S) -> SimResult {
+    match golden_slice() {
+        None => cpu.run(stream),
+        Some(slice) => loop {
+            if let StepOutcome::Finished(r) = cpu.run_for(&mut stream, slice) {
+                break r;
+            }
+        },
+    }
+}
+
 fn dump(
     name: &str,
     bench: Benchmark,
@@ -52,15 +88,12 @@ fn dump(
     cfg: SimConfig,
     ctrl: Box<dyn FrequencyController>,
 ) {
-    let mut stream = WorkloadGenerator::new(&bench.spec(), 42, insts);
     let mut cpu = McdProcessor::new(cfg, ctrl);
-    let r = match golden_slice() {
-        None => cpu.run(stream),
-        Some(slice) => loop {
-            if let StepOutcome::Finished(r) = cpu.run_for(&mut stream, slice) {
-                break r;
-            }
-        },
+    let r = if golden_trace() {
+        let trace = Arc::new(SharedTrace::materialize(&bench.spec(), 42, insts));
+        run_to_completion(&mut cpu, trace.cursor())
+    } else {
+        run_to_completion(&mut cpu, WorkloadGenerator::new(&bench.spec(), 42, insts))
     };
     println!(
         "{name}: committed={} fe_cycles={} elapsed_ps={} energy={:?} mem={} redirects={} freqs={:?}",

@@ -61,6 +61,30 @@ def engine_scaling(doc):
     print()
 
 
+def plan_scaling(doc):
+    print("### Plan scaling (shared traces + result memoization)\n")
+    ratio = doc.get("plan_over_pergen_speedup")
+    print(f"- workers: **{doc.get('workers')}**, jobs: {doc.get('plan_jobs')} "
+          f"(same-workload sweep)")
+    print(f"- shared-trace wall: {doc.get('wall_seconds', 0):.2f}s, "
+          f"per-run-generation wall: {doc.get('pergen_wall_seconds', 0):.2f}s")
+    print(f"- traces: {doc.get('trace_materializations')} materialization(s), "
+          f"{doc.get('trace_cache_hits')} hits, "
+          f"peak {doc.get('trace_peak_bytes', 0) / 1024:.0f} KiB resident")
+    if ratio is not None:
+        print(f"- **plan_over_pergen_speedup: {ratio:.3f}x** "
+              "(track in ROADMAP's plan-scaling baseline)")
+    hits = doc.get("repeat_result_cache_hits")
+    misses = doc.get("repeat_result_cache_misses")
+    if hits is not None:
+        print(f"- repeat plan: **{hits} result-cache hits / {misses} misses** "
+              f"({doc.get('repeat_runs')} re-simulations), "
+              f"{doc.get('repeat_over_cold_speedup', 0):.0f}x over cold")
+    if doc.get("serial_fallback"):
+        print("- WARNING: worker count resolved to 1 — wall-clock ratios are serial")
+    print()
+
+
 def main(argv):
     for path in argv[1:]:
         doc = load(path)
@@ -70,6 +94,8 @@ def main(argv):
             kernel_micro(doc)
         elif doc.get("experiment") == "engine_scaling":
             engine_scaling(doc)
+        elif doc.get("experiment") == "plan_scaling":
+            plan_scaling(doc)
         else:
             print(f"_bench summary: `{path}` has unknown experiment kind_\n")
     return 0

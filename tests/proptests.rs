@@ -16,8 +16,8 @@ use mcd::sim::{
     DomainTimeline, EventKind, McdProcessor, SimConfig, SimResult, StepOutcome, TimelineEvent,
 };
 use mcd::workloads::{
-    Benchmark, BranchBehavior, InstructionMix, MemoryBehavior, Phase, WorkloadGenerator,
-    WorkloadSpec,
+    Benchmark, BranchBehavior, InstructionMix, MemoryBehavior, Phase, SharedTrace,
+    WorkloadGenerator, WorkloadSpec,
 };
 
 proptest! {
@@ -417,12 +417,15 @@ proptest! {
     }
 }
 
-/// Runs `bench` for `insts` instructions under the baseline MCD
+/// Runs `stream` for `insts` instructions under the baseline MCD
 /// configuration, pausing at the given slice boundaries (cycled through
 /// repeatedly until the run finishes).  An empty sequence means one
 /// unbounded slice.
-fn run_with_slices(bench: Benchmark, insts: u64, slices: &[u64]) -> SimResult {
-    let mut stream = WorkloadGenerator::new(&bench.spec(), 42, insts);
+fn run_stream_with_slices<S: InstructionStream>(
+    mut stream: S,
+    insts: u64,
+    slices: &[u64],
+) -> SimResult {
     let mut cpu = McdProcessor::new(
         SimConfig::baseline_mcd(insts),
         Box::new(mcd::control::FixedController::at_max()),
@@ -434,6 +437,15 @@ fn run_with_slices(bench: Benchmark, insts: u64, slices: &[u64]) -> SimResult {
             return r;
         }
     }
+}
+
+/// [`run_stream_with_slices`] over `bench`'s live generator at seed 42.
+fn run_with_slices(bench: Benchmark, insts: u64, slices: &[u64]) -> SimResult {
+    run_stream_with_slices(
+        WorkloadGenerator::new(&bench.spec(), 42, insts),
+        insts,
+        slices,
+    )
 }
 
 proptest! {
@@ -475,6 +487,57 @@ proptest! {
             slices
         );
         prop_assert_eq!(sliced.committed_instructions, insts);
+    }
+
+    /// Shared-trace replay bit-identity: a [`SharedTrace`] cursor must be
+    /// indistinguishable from the live generator it recorded — the same
+    /// instruction at every position, the same `remaining_hint` (the
+    /// frontend uses it for fetch gating), and the same `SimResult` when
+    /// the replay is additionally chopped by *any* sequence of `run_for`
+    /// pause boundaries.  This is the invariant that lets the experiment
+    /// engine substitute one materialized trace for every same-workload
+    /// run of a plan.
+    #[test]
+    fn trace_replay_is_bit_identical_for_random_slice_boundaries(
+        raw_slices in proptest::collection::vec((0u8..4, 0u64..45_000), 1..8),
+        bench_sel in 0u8..3,
+        seed in 0u64..1_000,
+    ) {
+        let slices: Vec<u64> = raw_slices
+            .iter()
+            .map(|&(class, magnitude)| match class {
+                0 => 1,
+                1 => 2 + magnitude % 200,
+                2 => 5_000 + magnitude,
+                _ => 1_000_000 + magnitude,
+            })
+            .collect();
+        let bench = [Benchmark::Gzip, Benchmark::Swim, Benchmark::Mcf][bench_sel as usize];
+        let insts = 4_000;
+        let spec = bench.spec();
+        let trace = std::sync::Arc::new(SharedTrace::materialize(&spec, seed, insts));
+
+        // Stream-level equality at every position.
+        let mut live = WorkloadGenerator::new(&spec, seed, insts);
+        let mut cursor = trace.cursor();
+        loop {
+            prop_assert_eq!(cursor.remaining_hint(), live.remaining_hint());
+            match (cursor.next_inst(), live.next_inst()) {
+                (None, None) => break,
+                (a, b) => prop_assert_eq!(a, b),
+            }
+        }
+
+        // Simulated-result equality: live unsliced vs replay sliced at
+        // arbitrary pause boundaries.
+        let live_run =
+            run_stream_with_slices(WorkloadGenerator::new(&spec, seed, insts), insts, &[]);
+        let traced_run = run_stream_with_slices(trace.cursor(), insts, &slices);
+        prop_assert!(
+            traced_run == live_run,
+            "trace replay with slices {:?} changed the result",
+            slices
+        );
     }
 }
 
