@@ -1,0 +1,309 @@
+//! A minimal Rust source "lexer" for static analysis: strips the parts
+//! of a file that must never produce findings (comments, string and
+//! character literals, `#[cfg(test)]` modules) while preserving byte
+//! offsets and line numbers, so rule scans over the cleaned text report
+//! accurate locations in the original file.
+//!
+//! Deliberately hand-rolled and dependency-free, like the rest of the
+//! workspace's offline tooling: the goal is not a full grammar but a
+//! faithful classification of the four token classes that matter —
+//! line comments, (nested) block comments, string-likes (plain, raw,
+//! byte, C strings, char literals) and everything else.  Lifetimes
+//! (`'a`) are correctly distinguished from char literals.
+
+/// Replaces every byte of comments and string/char-literal *contents*
+/// with spaces (newlines are kept so line numbers survive).  The
+/// delimiters themselves are blanked too: a `"HashMap"` string or a
+/// `// uses HashMap` comment contributes nothing to a token scan.
+pub fn strip_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            // Block comments nest in Rust.
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+        } else if let Some(skip) = raw_string_len(b, i) {
+            blank(&mut out, &b[i..i + skip]);
+            i += skip;
+        } else if c == b'"' {
+            let skip = quoted_len(b, i, b'"');
+            blank(&mut out, &b[i..i + skip]);
+            i += skip;
+        } else if (c == b'b' || c == b'c') && i + 1 < b.len() && b[i + 1] == b'"' {
+            // Byte / C string: keep the prefix letter classification
+            // simple by blanking it together with the literal.
+            let skip = 1 + quoted_len(b, i + 1, b'"');
+            blank(&mut out, &b[i..i + skip]);
+            i += skip;
+        } else if c == b'\'' {
+            if let Some(skip) = char_literal_len(b, i) {
+                blank(&mut out, &b[i..i + skip]);
+                i += skip;
+            } else {
+                // A lifetime: copy the quote, identifier chars follow
+                // normally.
+                out.push(c);
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    // The replacements are all 1-byte ASCII for 1 byte of input.
+    String::from_utf8(out).expect("blanking preserves UTF-8: multibyte chars are copied verbatim")
+}
+
+fn blank(out: &mut Vec<u8>, bytes: &[u8]) {
+    for &x in bytes {
+        out.push(if x == b'\n' { b'\n' } else { b' ' });
+    }
+}
+
+/// Length of a `"`-delimited literal starting at `i` (including both
+/// quotes), honouring `\"` escapes.  Unterminated literals run to EOF.
+fn quoted_len(b: &[u8], i: usize, quote: u8) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        if b[j] == b'\\' {
+            j += 2;
+        } else if b[j] == quote {
+            return j + 1 - i;
+        } else {
+            j += 1;
+        }
+    }
+    b.len() - i
+}
+
+/// Length of a raw (byte) string literal `r"…"`, `r#"…"#`, `br##"…"##`
+/// starting at `i`, or `None` if `i` does not start one.
+fn raw_string_len(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if j < b.len() && (b[j] == b'b' || b[j] == b'c') {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        return None;
+    }
+    // An identifier like `r` or `br2` followed by `"`? `r#ident` (raw
+    // identifiers) never reach here because they lack the quote.  Make
+    // sure the `r` is not the tail of a longer identifier (`for"…"` is
+    // not valid Rust anyway).
+    if i > 0 && is_ident_char(b[i - 1]) {
+        return None;
+    }
+    j += 1;
+    // Find closing `"` followed by `hashes` hashes.
+    while j < b.len() {
+        if b[j] == b'"'
+            && b[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&h| h == b'#')
+                .count()
+                == hashes
+        {
+            return Some(j + 1 + hashes - i);
+        }
+        j += 1;
+    }
+    Some(b.len() - i)
+}
+
+/// Length of a char literal starting at the `'` at `i`, or `None` if it
+/// is a lifetime.  `'a'` is a char literal; `'a` (no closing quote right
+/// after one ident char) is a lifetime.
+fn char_literal_len(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        // Escapes are always literals: skip to the closing quote.
+        j += 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return Some((j + 1).min(b.len()) - i);
+    }
+    // One non-quote char (possibly multibyte) then a quote => literal.
+    let char_len = utf8_len(b[j]);
+    if j + char_len < b.len() && b[j + char_len] == b'\'' {
+        return Some(j + char_len + 1 - i);
+    }
+    None
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        x if x < 0x80 => 1,
+        x if x >= 0xF0 => 4,
+        x if x >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+pub(crate) fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Blanks the bodies of `#[cfg(test)] mod … { … }` items in
+/// already-stripped text: test-only code is not on any result path, so
+/// the determinism rules must not fire on it.  Call after
+/// [`strip_comments_and_strings`] — brace matching relies on literals
+/// being gone.
+pub fn blank_test_modules(stripped: &str) -> String {
+    let b = stripped.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    while let Some(at) = find_from(stripped, "#[cfg(test)]", i) {
+        i = at + "#[cfg(test)]".len();
+        // Skip whitespace and further attributes, then expect `mod`.
+        let mut j = i;
+        loop {
+            while j < b.len() && (b[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'#' {
+                // Another attribute: skip its bracketed group.
+                while j < b.len() && b[j] != b']' {
+                    j += 1;
+                }
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        if !stripped[j..].starts_with("mod") {
+            continue;
+        }
+        // Find the opening brace and blank to its match.
+        let Some(open_rel) = stripped[j..].find('{') else {
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut k = j + open_rel;
+        while k < b.len() {
+            match b[k] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                c if c != b'\n' => out[k] = b' ',
+                _ => {}
+            }
+            k += 1;
+        }
+        i = k;
+    }
+    String::from_utf8(out).expect("blanking is ASCII-for-ASCII")
+}
+
+fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
+    haystack[from..].find(needle).map(|p| p + from)
+}
+
+/// The 1-based line number of byte offset `at`.
+pub fn line_of(text: &str, at: usize) -> usize {
+    text.as_bytes()[..at]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let s = strip_comments_and_strings("let x = 1; // HashMap here\nlet y = 2;");
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("let y = 2;"));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let s = strip_comments_and_strings("a /* outer /* HashMap */ still comment */ b");
+        assert!(!s.contains("HashMap"));
+        assert!(!s.contains("still"));
+        assert!(s.starts_with('a'));
+        assert!(s.ends_with('b'));
+    }
+
+    #[test]
+    fn strings_and_chars_are_blanked_but_lifetimes_survive() {
+        let s = strip_comments_and_strings(
+            r##"fn f<'a>(x: &'a str) { let c = 'q'; let s = "HashMap"; let r = r#"Instant"# ; }"##,
+        );
+        assert!(!s.contains("HashMap"));
+        assert!(!s.contains("Instant"));
+        assert!(!s.contains('q'));
+        assert!(s.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_break_string_tracking() {
+        let s = strip_comments_and_strings(r#"let s = "a\"HashMap\"b"; let t = Instant;"#);
+        assert!(!s.contains("HashMap"));
+        assert!(s.contains("Instant"));
+    }
+
+    #[test]
+    fn test_modules_are_blanked() {
+        let src = "use std::time::Instant;\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n    fn f() {}\n}\nfn g() {}\n";
+        let cleaned = blank_test_modules(&strip_comments_and_strings(src));
+        assert!(!cleaned.contains("HashSet"));
+        assert!(cleaned.contains("Instant"), "non-test code must survive");
+        assert!(cleaned.contains("fn g()"));
+        assert_eq!(cleaned.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn offsets_and_lines_are_preserved() {
+        let src = "line1\n// HashMap\nline3 Instant\n";
+        let cleaned = strip_comments_and_strings(src);
+        assert_eq!(cleaned.len(), src.len());
+        let at = cleaned.find("Instant").unwrap();
+        assert_eq!(line_of(&cleaned, at), 3);
+    }
+}

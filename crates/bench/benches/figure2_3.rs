@@ -1,5 +1,7 @@
 //! Criterion bench for the Figure 2/3 trace experiment (`epic decode`
 //! load/store and floating-point traces under Attack/Decay).
+// The criterion_group! expansion is undocumented generated code.
+#![allow(missing_docs)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mcd_core::experiments::traces;

@@ -1,5 +1,7 @@
 //! Criterion bench for the Figure 4 pipeline: per-application comparisons
 //! against the fully synchronous processor.
+// The criterion_group! expansion is undocumented generated code.
+#![allow(missing_docs)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mcd_bench::criterion_settings;

@@ -2,6 +2,8 @@
 //! lookups, issue-queue management, the Attack/Decay control step and
 //! workload generation.  These quantify where the simulator spends its time
 //! and act as performance-regression guards for the building blocks.
+// The criterion_group! expansion is undocumented generated code.
+#![allow(missing_docs)]
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mcd_clock::{DomainId, OperatingPointTable, SyncWindow};

@@ -1,4 +1,6 @@
 //! Criterion bench for the sensitivity sweeps of Figures 5, 6 and 7.
+// The criterion_group! expansion is undocumented generated code.
+#![allow(missing_docs)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mcd_bench::criterion_settings;

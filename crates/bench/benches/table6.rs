@@ -1,6 +1,8 @@
 //! Criterion bench for the Table 6 pipeline: prints the regenerated table
 //! once (reduced settings) and measures the cost of the per-benchmark runs
 //! that feed it.
+// The criterion_group! expansion is undocumented generated code.
+#![allow(missing_docs)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mcd_bench::criterion_settings;

@@ -20,9 +20,6 @@
 //! full 30-benchmark suite with the longer windows used for EXPERIMENTS.md;
 //! the default is a quick cross-suite subset.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use std::path::PathBuf;
 
 use mcd_core::engine::EngineStats;

@@ -31,9 +31,6 @@
 //! assert!((top.voltage - 1.2).abs() < 1e-9);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod clockgen;
 pub mod domain;
 pub mod oppoint;

@@ -35,9 +35,6 @@
 //! assert_eq!(ctrl.name(), "attack-decay");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod attack_decay;
 pub mod controller;
 pub mod fixed;

@@ -36,7 +36,7 @@
 //! version so stale keys cannot alias new ones.  Caches live only as
 //! long as their engine/runner, so cross-process staleness cannot arise.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex, Weak};
 
 use mcd_workloads::{SharedTrace, WorkloadSpec};
@@ -212,7 +212,7 @@ pub fn result_key(
 
 /// Identity of one materialized trace: the content hash of its spec plus
 /// the generation seed and instruction budget.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TraceKey {
     spec: u128,
     seed: u64,
@@ -241,7 +241,12 @@ struct TraceEntry {
 
 #[derive(Debug, Default)]
 struct TraceInner {
-    entries: HashMap<TraceKey, TraceEntry>,
+    // Ordered map (the `mcd-audit` hash-iteration lint): `account()`
+    // iterates the entries, and nothing unordered may be iterated on a
+    // result-affecting path — even though this particular fold is
+    // order-insensitive, the deterministic structure makes that local
+    // argument unnecessary.
+    entries: BTreeMap<TraceKey, TraceEntry>,
     recent: VecDeque<Arc<SharedTrace>>,
     hits: u64,
     materializations: u64,
@@ -356,7 +361,7 @@ impl TraceCache {
 
 #[derive(Debug, Default)]
 struct ResultInner {
-    map: HashMap<u128, RunOutcome>,
+    map: BTreeMap<u128, RunOutcome>,
     hits: u64,
     misses: u64,
 }
@@ -484,6 +489,29 @@ mod tests {
                 assert_ne!(v, w, "distinct variants must not collide");
             }
         }
+    }
+
+    /// Pins the exact key bytes for one canonical (workload, config,
+    /// seed) tuple.  This is the dynamic half of the `mcd-audit`
+    /// cache-key rule: the audit proves every field reaches the hasher,
+    /// this snapshot proves the *encoding* has not drifted.  If this
+    /// fails, the key scheme changed — verify the change is intentional,
+    /// bump [`KEY_VERSION`], and update the constant in the same commit
+    /// so stale memoized results can never alias the new scheme.
+    #[test]
+    fn key_snapshot_for_canonical_tuple() {
+        let key = result_key(
+            &Benchmark::Gzip.spec(),
+            &ConfigKind::AttackDecay(mcd_control::AttackDecayParams::paper_defaults()),
+            42,
+            1_000_000,
+            10_000,
+            false,
+        );
+        assert_eq!(
+            key, 0xef6b_5ec7_308f_2aa7_a7dc_70ce_124e_789c_u128,
+            "cache-key encoding drifted: bump KEY_VERSION and update this snapshot (new key {key:#034x})"
+        );
     }
 
     #[test]

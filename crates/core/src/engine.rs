@@ -39,7 +39,7 @@
 //!    resident at once (default `4 * workers`; `0` = unbounded), bounding
 //!    the scheduler's peak memory.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
@@ -621,7 +621,10 @@ impl ExperimentEngine {
             .collect();
         if !misses.is_empty() {
             if let Some(cache) = self.runner.trace_cache() {
-                let mut uses: HashMap<crate::cache::TraceKey, usize> = HashMap::new();
+                // Ordered: iterated below, and iteration on a result
+                // path must be deterministic (the audit's
+                // hash-iteration lint).
+                let mut uses: BTreeMap<crate::cache::TraceKey, usize> = BTreeMap::new();
                 for &i in &misses {
                     *uses
                         .entry(self.runner.trace_key(specs[i].benchmark))
@@ -686,7 +689,7 @@ impl ExperimentEngine {
                 config: ConfigKind::BaselineMcd,
             })
             .collect();
-        let baseline_outcomes: HashMap<Benchmark, RunOutcome> = self
+        let baseline_outcomes: BTreeMap<Benchmark, RunOutcome> = self
             .execute_jobs(&prerequisites)
             .into_iter()
             .map(|o| (o.benchmark, o))

@@ -35,9 +35,6 @@
 //! println!("{}", table.render());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cache;
 pub mod engine;
 pub mod experiments;

@@ -6,7 +6,7 @@
 //! schedule) and the search for the global frequency that matches a target
 //! performance degradation (used for the `Global(...)` rows of Table 6).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use mcd_clock::{MegaHertz, OperatingPointTable};
@@ -161,8 +161,10 @@ pub struct RunOutcome {
 }
 
 /// A profile cache shareable between runners and the parallel experiment
-/// engine's workers.
-pub type SharedProfileCache = Arc<Mutex<HashMap<Benchmark, OfflineProfile>>>;
+/// engine's workers.  Ordered (`BTreeMap`) per the workspace's
+/// hash-iteration lint: only keyed lookups happen today, but nothing on
+/// a result-affecting path may carry unordered iteration order.
+pub type SharedProfileCache = Arc<Mutex<BTreeMap<Benchmark, OfflineProfile>>>;
 
 /// Runs benchmarks under the paper's configurations, caching the profiling
 /// runs needed by the off-line oracle.

@@ -26,9 +26,6 @@
 //! assert!(!add.is_mem());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod inst;
 pub mod op;
 pub mod reg;

@@ -171,7 +171,10 @@ impl StreamStats {
     /// statistics.
     pub fn gather<S: InstructionStream>(stream: &mut S, limit: u64) -> Self {
         let mut stats = StreamStats::default();
-        let mut lines = std::collections::HashSet::new();
+        // Ordered set (the workspace hash-iteration lint): only
+        // membership and `len` are used, but result-affecting code keeps
+        // deterministic structures throughout.
+        let mut lines = std::collections::BTreeSet::new();
         for _ in 0..limit {
             let Some(inst) = stream.next_inst() else {
                 break;

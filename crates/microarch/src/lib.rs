@@ -18,9 +18,6 @@
 //!
 //! [`mcd_core`]: https://docs.rs/mcd-core
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod bpred;
 pub mod cache;
 pub mod func_units;

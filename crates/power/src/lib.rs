@@ -28,9 +28,6 @@
 //! // The low-voltage accesses cost (0.65/1.2)^2 of the nominal energy.
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod account;
 pub mod model;
 pub mod structures;

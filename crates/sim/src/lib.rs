@@ -38,9 +38,6 @@
 //! assert!(result.cpi() > 0.1);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod config;
 pub mod events;
 mod exec;

@@ -38,9 +38,6 @@
 //! assert_eq!(count, 1_000);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod generator;
 pub mod spec;
 pub mod suite;

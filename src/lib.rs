@@ -2,7 +2,6 @@
 //!
 //! Re-exports the public API of `mcd-core` and the substrate crates so that
 //! examples and downstream users can depend on a single crate.
-#![forbid(unsafe_code)]
 
 pub use mcd_clock as clock;
 pub use mcd_control as control;
