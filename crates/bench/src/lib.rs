@@ -128,6 +128,8 @@ pub fn write_bench_json(
     doc.insert("trace_cache_hits", stats.trace_cache_hits);
     doc.insert("trace_materializations", stats.trace_materializations);
     doc.insert("trace_peak_bytes", stats.trace_peak_bytes);
+    doc.insert("checkpoint_prefixes", stats.checkpoint_prefixes);
+    doc.insert("checkpoint_restores", stats.checkpoint_restores);
     for (key, value) in extras {
         doc.insert(key, value.clone());
     }
@@ -253,6 +255,8 @@ mod tests {
             trace_cache_hits: 12,
             trace_materializations: 3,
             trace_peak_bytes: 640_000,
+            checkpoint_prefixes: 1,
+            checkpoint_restores: 2,
             wall_seconds: 2.0,
             cumulative_seconds: 6.0,
             simulated_instructions: 900_000,
@@ -271,6 +275,8 @@ mod tests {
             "\"trace_cache_hits\": 12",
             "\"trace_materializations\": 3",
             "\"trace_peak_bytes\": 640000",
+            "\"checkpoint_prefixes\": 1",
+            "\"checkpoint_restores\": 2",
             "\"benchmarks\": 3",
         ] {
             assert!(text.contains(needle), "missing {needle} in {text}");

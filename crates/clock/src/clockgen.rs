@@ -15,6 +15,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::codec::{ByteReader, ByteWriter, Result as CodecResult};
 use serde::{Deserialize, Serialize};
 
 use crate::domain::DomainId;
@@ -100,6 +101,52 @@ impl JitterModel {
         let z = self.buf[self.pos];
         self.pos += 1;
         (z * self.sigma_ps).clamp(-3.0 * self.sigma_ps, 3.0 * self.sigma_ps)
+    }
+
+    /// Serializes the jitter source, including the PRNG state and the
+    /// unconsumed tail of the sample buffer, so the per-edge jitter stream
+    /// resumes bit-identically after a restore.
+    pub fn save(&self, w: &mut ByteWriter) {
+        w.put_f64(self.sigma_ps);
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        for v in self.buf {
+            w.put_f64(v);
+        }
+        w.put_usize(self.pos);
+    }
+
+    /// Rebuilds a jitter source from [`JitterModel::save`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the stream is truncated or the buffer
+    /// cursor is out of range.
+    pub fn load(r: &mut ByteReader<'_>) -> CodecResult<Self> {
+        let sigma_ps = r.f64()?;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.u64()?;
+        }
+        let rng = StdRng::from_state(state);
+        let mut buf = [0.0; JITTER_BATCH];
+        for v in &mut buf {
+            *v = r.f64()?;
+        }
+        let pos = r.usize()?;
+        if pos > JITTER_BATCH {
+            return Err(serde::codec::CodecError::BadTag {
+                what: "jitter buffer cursor",
+                got: pos as u64,
+            });
+        }
+        Ok(JitterModel {
+            sigma_ps,
+            rng,
+            buf,
+            pos,
+        })
     }
 }
 
@@ -272,6 +319,45 @@ impl DomainClock {
         self.next_edge_ps = this_edge + delta;
         self.cycles += 1;
         this_edge
+    }
+
+    /// Serializes the full clock state (ramp, jitter source, edge schedule)
+    /// for checkpointing.
+    pub fn save(&self, w: &mut ByteWriter) {
+        w.put_u8(self.domain.index() as u8);
+        self.ramp.save(w);
+        self.jitter.save(w);
+        w.put_u64(self.next_edge_ps);
+        w.put_u64(self.cycles);
+        w.put_u64(self.settle_ps);
+        w.put_u64(self.settled_period_ps);
+        w.put_f64(self.settled_freq_mhz);
+    }
+
+    /// Rebuilds a clock from [`DomainClock::save`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the stream is truncated or the domain
+    /// index is invalid.
+    pub fn load(r: &mut ByteReader<'_>) -> CodecResult<Self> {
+        let idx = r.u8()?;
+        if usize::from(idx) >= DomainId::ALL.len() {
+            return Err(serde::codec::CodecError::BadTag {
+                what: "domain index",
+                got: u64::from(idx),
+            });
+        }
+        Ok(DomainClock {
+            domain: DomainId::from_index(usize::from(idx)),
+            ramp: FrequencyRamp::load(r)?,
+            jitter: JitterModel::load(r)?,
+            next_edge_ps: r.u64()?,
+            cycles: r.u64()?,
+            settle_ps: r.u64()?,
+            settled_period_ps: r.u64()?,
+            settled_freq_mhz: r.f64()?,
+        })
     }
 
     /// A serializable snapshot of the clock state.
@@ -466,6 +552,40 @@ mod tests {
         assert_eq!(s.cycles, 0);
         assert!((s.freq_mhz - 750.0).abs() < 1e-9);
         assert_eq!(s.next_edge_ps, clk.next_edge_ps());
+    }
+
+    #[test]
+    fn save_load_resumes_edge_stream_mid_ramp() {
+        let mut clk = DomainClock::new(DomainId::Integer, 1000.0, 49.1, 110.0, 11);
+        for _ in 0..100 {
+            clk.advance();
+        }
+        clk.set_target_freq(650.0);
+        for _ in 0..37 {
+            clk.advance();
+        }
+        let mut w = ByteWriter::new();
+        clk.save(&mut w);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        let mut restored = DomainClock::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.domain(), clk.domain());
+        for _ in 0..10_000 {
+            assert_eq!(restored.advance(), clk.advance());
+            assert_eq!(restored.next_edge_ps(), clk.next_edge_ps());
+            assert_eq!(restored.cycles(), clk.cycles());
+        }
+    }
+
+    #[test]
+    fn clock_load_rejects_bad_domain_index() {
+        let clk = DomainClock::new(DomainId::Integer, 1000.0, 49.1, 0.0, 1);
+        let mut w = ByteWriter::new();
+        clk.save(&mut w);
+        let mut bytes = w.into_vec();
+        bytes[0] = 9;
+        assert!(DomainClock::load(&mut ByteReader::new(&bytes)).is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! frequency at the time of the request), which is exactly what happens when
 //! the control algorithm issues a new command every 10 000 instructions.
 
+use serde::codec::{ByteReader, ByteWriter, Result as CodecResult};
 use serde::{Deserialize, Serialize};
 
 use crate::{MegaHertz, TimePs};
@@ -103,6 +104,28 @@ impl FrequencyRamp {
     pub fn settle_time_ps(&self) -> TimePs {
         let delta = (self.target_freq - self.start_freq).abs();
         self.start_ps + (delta * self.rate_ns_per_mhz * 1000.0).round() as TimePs
+    }
+
+    /// Serializes the full ramp state for checkpointing.
+    pub fn save(&self, w: &mut ByteWriter) {
+        w.put_f64(self.start_freq);
+        w.put_f64(self.target_freq);
+        w.put_u64(self.start_ps);
+        w.put_f64(self.rate_ns_per_mhz);
+    }
+
+    /// Rebuilds a ramp from [`FrequencyRamp::save`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the stream is truncated.
+    pub fn load(r: &mut ByteReader<'_>) -> CodecResult<Self> {
+        Ok(FrequencyRamp {
+            start_freq: r.f64()?,
+            target_freq: r.f64()?,
+            start_ps: r.u64()?,
+            rate_ns_per_mhz: r.f64()?,
+        })
     }
 }
 

@@ -1,6 +1,7 @@
 //! The controller abstraction shared by all frequency-control algorithms.
 
 use mcd_clock::{DomainId, MegaHertz};
+use serde::codec::{ByteReader, ByteWriter, Result as CodecResult};
 use serde::{Deserialize, Serialize};
 
 use crate::sample::{FrequencyCommand, IntervalSample};
@@ -31,6 +32,27 @@ pub trait FrequencyController: Send {
     /// Called once when a run finishes (for controllers that keep
     /// statistics).  Default: no-op.
     fn finish(&mut self) {}
+
+    /// Serializes the controller's mutable inter-interval state into `w`
+    /// for checkpointing.  Stateless controllers (the fixed baseline and
+    /// global scaling) keep the default no-op; stateful controllers
+    /// (Attack/Decay, the off-line oracle) must override this *and*
+    /// [`FrequencyController::load_state`] as an exact pair.
+    fn save_state(&self, w: &mut ByteWriter) {
+        let _ = w;
+    }
+
+    /// Restores state produced by [`FrequencyController::save_state`] into
+    /// a freshly constructed controller of the same kind and parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not match this controller's
+    /// layout.
+    fn load_state(&mut self, r: &mut ByteReader<'_>) -> CodecResult<()> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// A serializable description of which controller to instantiate, used by

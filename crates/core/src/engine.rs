@@ -47,6 +47,7 @@ use std::time::Instant;
 use mcd_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
 
+use crate::cache::CheckpointCache;
 use crate::experiments::ExperimentSettings;
 use crate::runner::{BenchmarkRunner, ConfigKind, PausableRun, RunOutcome};
 
@@ -124,6 +125,27 @@ pub fn max_live_runs(explicit: Option<usize>, workers: usize) -> usize {
             })
         })
         .unwrap_or(4 * workers.max(1))
+}
+
+/// Resolves the warm-up prefix length for checkpoint forking, in kernel
+/// steps: an explicit request wins, then the `MCD_PREFIX_CYCLES`
+/// environment variable, then disabled.  `0` (explicit or via the
+/// environment) disables forking.
+///
+/// # Panics
+///
+/// Panics on an unparseable `MCD_PREFIX_CYCLES` (matching
+/// [`slice_cycles`]: a requested knob must not be silently rewritten).
+pub fn prefix_cycles(explicit: Option<u64>) -> Option<u64> {
+    explicit
+        .or_else(|| {
+            std::env::var("MCD_PREFIX_CYCLES").ok().map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    panic!("MCD_PREFIX_CYCLES must be a non-negative integer, got {v:?}")
+                })
+            })
+        })
+        .filter(|&n| n > 0)
 }
 
 /// Parses an `MCD_NO_*` disable knob: unset or `0` leaves the feature
@@ -536,6 +558,12 @@ pub struct EngineStats {
     /// Simulated MIPS of the plan as a whole
     /// (`simulated_instructions / wall_seconds / 1e6`).
     pub aggregate_mips: f64,
+    /// Warm-up prefix snapshots published by checkpoint forking (one
+    /// shared-prefix simulation each; zero when forking is disabled).
+    pub checkpoint_prefixes: u64,
+    /// Runs that restored a published warm-up snapshot instead of
+    /// re-simulating the shared prefix.
+    pub checkpoint_restores: u64,
 }
 
 /// Executes [`RunPlan`]s against one experiment configuration.
@@ -545,6 +573,12 @@ pub struct ExperimentEngine {
     workers: usize,
     slice_cycles: u64,
     max_live_runs: usize,
+    /// Warm-up prefix length for checkpoint forking; `None` disables.
+    prefix_cycles: Option<u64>,
+    /// Warm-up checkpoint snapshots, shared by all plans this engine
+    /// executes (keys embed everything result-affecting, so reuse across
+    /// plans is exactly as sound as reuse within one).
+    checkpoints: CheckpointCache,
 }
 
 impl ExperimentEngine {
@@ -565,6 +599,8 @@ impl ExperimentEngine {
             workers,
             slice_cycles: slice_cycles(settings.slice_cycles),
             max_live_runs: max_live_runs(settings.max_live_runs, workers),
+            prefix_cycles: prefix_cycles(settings.prefix_cycles),
+            checkpoints: CheckpointCache::default(),
         }
     }
 
@@ -583,6 +619,12 @@ impl ExperimentEngine {
     /// will use; `0` means unbounded.
     pub fn max_live_runs(&self) -> usize {
         self.max_live_runs
+    }
+
+    /// The warm-up prefix length for checkpoint forking; `None` when
+    /// forking is disabled.
+    pub fn prefix_cycles(&self) -> Option<u64> {
+        self.prefix_cycles
     }
 
     /// The runner backing this engine (shares its profile cache).
@@ -604,7 +646,27 @@ impl ExperimentEngine {
         if self.workers == 1 {
             return specs
                 .iter()
-                .map(|job| self.runner.run(job.benchmark, &job.config))
+                .map(|job| match self.prefix_cycles {
+                    None => self.runner.run(job.benchmark, &job.config),
+                    Some(prefix) => {
+                        if let Some(hit) = self.runner.cached_result(job.benchmark, &job.config) {
+                            self.runner.note_outcome(&hit);
+                            return hit;
+                        }
+                        let mut run = self.runner.begin_prefixed(
+                            job.benchmark,
+                            &job.config,
+                            &self.checkpoints,
+                            prefix,
+                        );
+                        let outcome = run
+                            .step(u64::MAX)
+                            .expect("an unbounded slice runs to completion");
+                        self.runner.note_outcome(&outcome);
+                        self.runner.memoize(&outcome);
+                        outcome
+                    }
+                })
                 .collect();
         }
         let mut outcomes: Vec<Option<RunOutcome>> = specs
@@ -646,7 +708,15 @@ impl ExperimentEngine {
                 |j| priorities[j],
                 |j| {
                     let job = &specs[misses[j]];
-                    self.runner.begin(job.benchmark, &job.config)
+                    match self.prefix_cycles {
+                        Some(prefix) => self.runner.begin_prefixed(
+                            job.benchmark,
+                            &job.config,
+                            &self.checkpoints,
+                            prefix,
+                        ),
+                        None => self.runner.begin(job.benchmark, &job.config),
+                    }
                 },
                 |outcome| {
                     self.runner.note_outcome(outcome);
@@ -673,6 +743,7 @@ impl ExperimentEngine {
         let started = Instant::now();
         let results_before = self.runner.result_cache_stats();
         let traces_before = self.runner.trace_cache_stats();
+        let checkpoints_before = self.checkpoints.stats();
 
         // Phase 1 — prerequisite profiling runs, deduplicated through the
         // shared cache.  The baseline outcome itself is kept so that a
@@ -735,6 +806,7 @@ impl ExperimentEngine {
         let runs = simulated.len();
         let results_after = self.runner.result_cache_stats();
         let traces_after = self.runner.trace_cache_stats();
+        let checkpoints_after = self.checkpoints.stats();
         // Per-run host stats already aggregate across each run's slices
         // (regardless of which workers executed them), so the plan-level
         // cumulative cost is a plain sum.
@@ -766,6 +838,8 @@ impl ExperimentEngine {
             } else {
                 0.0
             },
+            checkpoint_prefixes: checkpoints_after.published - checkpoints_before.published,
+            checkpoint_restores: checkpoints_after.restored - checkpoints_before.restored,
         };
         (outcomes, stats)
     }
@@ -963,6 +1037,7 @@ mod tests {
             max_live_runs: None,
             share_traces: None,
             result_cache: None,
+            prefix_cycles: None,
         };
         let engine = ExperimentEngine::from_settings(&settings);
         assert_eq!(engine.slice_cycles(), 3_000);
@@ -1033,6 +1108,115 @@ mod tests {
     }
 
     #[test]
+    fn prefix_forking_restores_all_but_one_warm_up_with_identical_results() {
+        // Four cells of one benchmark in a single warm-up equivalence
+        // class (baseline MCD and three Attack/Decay variants all start
+        // every domain at the maximum frequency on the MCD machine):
+        // exactly one simulates the shared prefix, the other three must
+        // restore its checkpoint — and results must be bit-identical to
+        // an engine with forking disabled.
+        let variant = |decay: f64| {
+            let mut p = mcd_control::AttackDecayParams::paper_defaults();
+            p.decay = decay;
+            ConfigKind::AttackDecay(p)
+        };
+        let plan = RunPlan::new()
+            .job(Benchmark::Gzip, ConfigKind::BaselineMcd)
+            .job(Benchmark::Gzip, variant(0.005))
+            .job(Benchmark::Gzip, variant(0.010))
+            .job(Benchmark::Gzip, variant(0.015));
+        let base = ExperimentSettings {
+            benchmarks: vec![Benchmark::Gzip],
+            instructions: 20_000,
+            interval_instructions: 10_000,
+            seed: 5,
+            global_search_iters: 1,
+            parallel: true,
+            jobs: Some(2),
+            slice_cycles: Some(3_000),
+            max_live_runs: None,
+            share_traces: None,
+            result_cache: None,
+            prefix_cycles: Some(2_000),
+        };
+        let forking = ExperimentEngine::from_settings(&base);
+        assert_eq!(forking.prefix_cycles(), Some(2_000));
+        let (forked, stats) = forking.execute_with_stats(&plan);
+        assert_eq!(
+            stats.checkpoint_prefixes, 1,
+            "one warm-up simulation per equivalence class"
+        );
+        assert_eq!(
+            stats.checkpoint_restores,
+            plan.jobs.len() as u64 - 1,
+            "every other cell of the class must restore the checkpoint"
+        );
+
+        let mut control_settings = base.clone();
+        control_settings.prefix_cycles = None;
+        let control = ExperimentEngine::from_settings(&control_settings);
+        assert_eq!(control.prefix_cycles(), None);
+        let (fresh, control_stats) = control.execute_with_stats(&plan);
+        assert_eq!(control_stats.checkpoint_prefixes, 0);
+        assert_eq!(control_stats.checkpoint_restores, 0);
+        for (a, b) in forked.iter().zip(&fresh) {
+            assert_eq!(
+                a.result, b.result,
+                "prefix forking must never change a result"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_forking_is_identical_on_the_serial_path() {
+        // workers == 1 takes the serial execute_jobs path; the same
+        // class sharing must hold (sequentially: owner first, then three
+        // restores), with identical results.
+        let plan = RunPlan::new()
+            .job(Benchmark::Adpcm, ConfigKind::BaselineMcd)
+            .job(
+                Benchmark::Adpcm,
+                ConfigKind::AttackDecay(mcd_control::AttackDecayParams::paper_defaults()),
+            );
+        let base = ExperimentSettings {
+            benchmarks: vec![Benchmark::Adpcm],
+            instructions: 15_000,
+            interval_instructions: 10_000,
+            seed: 9,
+            global_search_iters: 1,
+            parallel: false,
+            jobs: None,
+            slice_cycles: None,
+            max_live_runs: None,
+            share_traces: None,
+            result_cache: None,
+            prefix_cycles: Some(2_000),
+        };
+        let forking = ExperimentEngine::from_settings(&base);
+        let (forked, stats) = forking.execute_with_stats(&plan);
+        assert_eq!(stats.checkpoint_prefixes, 1);
+        assert_eq!(stats.checkpoint_restores, 1);
+        let mut control_settings = base.clone();
+        control_settings.prefix_cycles = None;
+        let (fresh, _) =
+            ExperimentEngine::from_settings(&control_settings).execute_with_stats(&plan);
+        for (a, b) in forked.iter().zip(&fresh) {
+            assert_eq!(a.result, b.result);
+        }
+    }
+
+    #[test]
+    fn prefix_cycles_resolution_order() {
+        // Explicit request wins; 0 disables; default is disabled (the
+        // MCD_PREFIX_CYCLES branch is exercised by the CI workflow).
+        assert_eq!(prefix_cycles(Some(5_000)), Some(5_000));
+        assert_eq!(prefix_cycles(Some(0)), None);
+        if std::env::var("MCD_PREFIX_CYCLES").is_err() {
+            assert_eq!(prefix_cycles(None), None);
+        }
+    }
+
+    #[test]
     fn repeat_plan_is_served_entirely_from_the_result_cache() {
         let settings = ExperimentSettings {
             benchmarks: vec![Benchmark::Adpcm],
@@ -1046,6 +1230,7 @@ mod tests {
             max_live_runs: None,
             share_traces: None,
             result_cache: None,
+            prefix_cycles: None,
         };
         let engine = ExperimentEngine::from_settings(&settings);
         let plan = RunPlan::suite(&[Benchmark::Adpcm]);
@@ -1084,6 +1269,7 @@ mod tests {
             max_live_runs: None,
             share_traces: None,
             result_cache: None,
+            prefix_cycles: None,
         };
         let cached = ExperimentEngine::from_settings(&base);
         let uncached = ExperimentEngine::from_settings(

@@ -61,6 +61,14 @@ pub struct ExperimentSettings {
     /// `MCD_NO_RESULT_CACHE=1`).  Host-side telemetry aside, a served
     /// repeat is bit-identical to a fresh simulation.
     pub result_cache: Option<bool>,
+    /// Warm-up prefix length in kernel steps for checkpoint forking:
+    /// runs whose configurations are indistinguishable over the prefix
+    /// share one warmed-up machine snapshot instead of each
+    /// re-simulating it (None: the `MCD_PREFIX_CYCLES` environment
+    /// variable, then disabled; `Some(0)` explicitly disables).  The
+    /// fork contract keeps results bit-identical, so this never affects
+    /// simulated results.
+    pub prefix_cycles: Option<u64>,
 }
 
 impl ExperimentSettings {
@@ -86,6 +94,7 @@ impl ExperimentSettings {
             max_live_runs: None,
             share_traces: None,
             result_cache: None,
+            prefix_cycles: None,
         }
     }
 
@@ -104,6 +113,7 @@ impl ExperimentSettings {
             max_live_runs: None,
             share_traces: None,
             result_cache: None,
+            prefix_cycles: None,
         }
     }
 
@@ -151,6 +161,13 @@ impl ExperimentSettings {
     /// Builder-style enable/disable of result memoization.
     pub fn with_result_cache(mut self, result_cache: bool) -> Self {
         self.result_cache = Some(result_cache);
+        self
+    }
+
+    /// Builder-style override of the warm-up prefix length for
+    /// checkpoint forking (`0` disables).
+    pub fn with_prefix_cycles(mut self, prefix_cycles: u64) -> Self {
+        self.prefix_cycles = Some(prefix_cycles);
         self
     }
 
@@ -774,6 +791,7 @@ mod tests {
             max_live_runs: None,
             share_traces: None,
             result_cache: None,
+            prefix_cycles: None,
         }
     }
 
@@ -891,6 +909,7 @@ mod tests {
             max_live_runs: None,
             share_traces: None,
             result_cache: None,
+            prefix_cycles: None,
         });
         let fig = figure4::from_outcomes(&outcomes);
         assert_eq!(fig.rows.len(), 2);
@@ -933,6 +952,7 @@ mod tests {
             max_live_runs: None,
             share_traces: None,
             result_cache: None,
+            prefix_cycles: None,
         };
         let sweep = sensitivity::sweep_decay(&settings, &[0.0005, 0.0075]);
         assert_eq!(sweep.points.len(), 2);

@@ -16,6 +16,18 @@
 //!   global voltage scaling), including the two-pass profiling required by
 //!   the off-line oracle and the search for the global frequency that
 //!   matches a target performance degradation.
+//! * [`mod@snapshot`] — the versioned binary snapshot codec: serialize a
+//!   paused [`runner::PausableRun`] (machine + stream cursor + controller
+//!   state) and restore it bit-identically, in this process or another;
+//!   `fork_prefix` swaps in a different controller at restore time for
+//!   warm-up sharing.
+//! * [`cache`] — the engine-owned caches: shared instruction traces,
+//!   content-addressed result memoization, and the checkpoint cache that
+//!   coordinates prefix forking across same-warm-up grid cells.
+//! * [`bundle`] — verifiable run bundles: a manifest-hashed directory of
+//!   run identity, snapshot chain and result digest, with
+//!   [`bundle::replay_verify`] restoring every snapshot
+//!   and re-running its tail to the recorded digest.
 //! * [`metrics`] — the paper's metrics: performance degradation, energy
 //!   savings, energy-delay-product improvement and the power-savings to
 //!   performance-degradation ratio, plus suite averaging.
@@ -35,6 +47,7 @@
 //! println!("{}", table.render());
 //! ```
 
+pub mod bundle;
 pub mod cache;
 pub mod engine;
 pub mod experiments;
@@ -42,12 +55,21 @@ pub mod metrics;
 pub mod presets;
 pub mod report;
 pub mod runner;
+pub mod snapshot;
 
-pub use cache::{result_key, ResultCache, ResultCacheStats, TraceCache, TraceCacheStats, TraceKey};
+pub use bundle::{replay_verify, write_bundle, BundleError, BundleReport, BundleSpec};
+pub use cache::{
+    result_key, CheckpointCache, CheckpointCacheStats, CheckpointClaim, ResultCache,
+    ResultCacheStats, TraceCache, TraceCacheStats, TraceKey,
+};
 pub use engine::{
-    admission_priority, parallel_map, result_caching_enabled, slice_cycles, trace_sharing_enabled,
-    worker_count, EngineStats, ExperimentEngine, JobSpec, RunPlan, DEFAULT_SLICE_CYCLES,
+    admission_priority, parallel_map, prefix_cycles, result_caching_enabled, slice_cycles,
+    trace_sharing_enabled, worker_count, EngineStats, ExperimentEngine, JobSpec, RunPlan,
+    DEFAULT_SLICE_CYCLES,
 };
 pub use experiments::ExperimentSettings;
 pub use metrics::{suite_average, Comparison, RunMetrics};
 pub use runner::{BenchmarkRunner, ConfigKind, PausableRun, RunOutcome};
+pub use snapshot::{
+    fork_prefix, restore, restore_with, snapshot, SnapshotHeader, SNAPSHOT_VERSION,
+};

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-use mcd_clock::{MegaHertz, OperatingPointTable};
+use mcd_clock::{DomainId, MegaHertz, OperatingPointTable};
 use mcd_control::{
     AttackDecayController, AttackDecayParams, FixedController, FrequencyController,
     GlobalScalingController, OfflineController, OfflineProfile,
@@ -20,9 +20,11 @@ use mcd_workloads::{Benchmark, TraceCursor, WorkloadGenerator};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{
-    result_key, ResultCache, ResultCacheStats, TraceCache, TraceCacheStats, TraceKey,
+    hash_spec, result_key, CheckpointCache, CheckpointClaim, ResultCache, ResultCacheStats,
+    StableHasher, TraceCache, TraceCacheStats, TraceKey,
 };
 use crate::engine::{result_caching_enabled, trace_sharing_enabled};
+use crate::snapshot::{fork_prefix, snapshot};
 
 /// Which of the paper's configurations to run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -102,13 +104,13 @@ impl InstructionStream for RunStream {
 /// slice boundaries does not affect the result: stepping in slices of any
 /// size yields a [`SimResult`] bit-identical to one unbounded run.
 pub struct PausableRun {
-    benchmark: Benchmark,
-    config: ConfigKind,
-    cpu: McdProcessor,
-    stream: RunStream,
+    pub(crate) benchmark: Benchmark,
+    pub(crate) config: ConfigKind,
+    pub(crate) cpu: McdProcessor,
+    pub(crate) stream: RunStream,
     /// Bytes of the shared trace backing `stream` (0 for live
     /// generation); stamped into the outcome's host stats at finish.
-    trace_bytes: u64,
+    pub(crate) trace_bytes: u64,
 }
 
 impl std::fmt::Debug for PausableRun {
@@ -129,6 +131,23 @@ impl PausableRun {
     /// The configuration this run executes under.
     pub fn config(&self) -> &ConfigKind {
         &self.config
+    }
+
+    /// Committed instructions so far (snapshot naming, prefix forking).
+    pub fn committed_instructions(&self) -> u64 {
+        self.cpu.committed_instructions()
+    }
+
+    /// Zero-based index of the control interval currently accumulating.
+    /// See [`McdProcessor::interval_index`] for the prefix-fork contract.
+    pub fn interval_index(&self) -> u64 {
+        self.cpu.interval_index()
+    }
+
+    /// Whether the run has finished (a finished run must not be stepped
+    /// or snapshotted).
+    pub fn is_done(&self) -> bool {
+        self.cpu.is_done()
     }
 
     /// Runs at most `max_cycles` kernel steps.  Returns `None` when the
@@ -390,6 +409,136 @@ impl BenchmarkRunner {
         }
     }
 
+    /// The warm-up equivalence class of `(bench, kind)` plus the prefix
+    /// length, as a stable hash: two cells get the same key exactly when
+    /// their machines are bit-identical for the first `prefix_cycles`
+    /// kernel steps.  Controllers influence a run only through their
+    /// initial domain frequencies (at construction) and through
+    /// `interval_update` (at control-interval boundaries), so up to the
+    /// first boundary the trajectory is determined by the workload, the
+    /// runner's settings, the base machine (fully synchronous vs MCD)
+    /// and those initial frequencies — which is precisely what the key
+    /// hashes.  The configuration *kind* is deliberately excluded:
+    /// aliasing across kinds inside one class is the point.
+    pub fn prefix_key(&self, bench: Benchmark, kind: &ConfigKind, prefix_cycles: u64) -> u128 {
+        let cfg = self.sim_config(kind);
+        let controller = self.controller(bench, kind);
+        // Resolve the initial frequency of every domain exactly as the
+        // processor's constructor does (nearest operating point; the
+        // external bus and unpinned domains fall back to config values).
+        let table = OperatingPointTable::from_params(&cfg.clock);
+        let max_freq = table.max_point().freq_mhz;
+        let mut h = StableHasher::new();
+        h.write_str("prefix-checkpoint");
+        h.write_u64(prefix_cycles);
+        let spec_hash = hash_spec(&bench.spec());
+        h.write_u64(spec_hash as u64);
+        h.write_u64((spec_hash >> 64) as u64);
+        h.write_u64(cfg.seed);
+        h.write_u64(cfg.max_instructions);
+        h.write_u64(cfg.interval_instructions);
+        h.write_bool(cfg.record_traces);
+        // The base-machine branch of `sim_config`.
+        h.write_bool(matches!(
+            kind,
+            ConfigKind::FullySynchronous | ConfigKind::GlobalScaling { .. }
+        ));
+        for &d in DomainId::ALL.iter() {
+            let initial = controller
+                .initial_freq_mhz(d)
+                .map(|f| table.nearest(f).freq_mhz)
+                .unwrap_or(if d == DomainId::External {
+                    cfg.clock.external_freq_mhz
+                } else {
+                    max_freq
+                });
+            h.write_f64(initial);
+        }
+        h.finish()
+    }
+
+    /// [`Self::begin`] through a warm-up checkpoint cache: the first run
+    /// of each warm-up equivalence class (see [`Self::prefix_key`])
+    /// simulates the first `prefix_cycles` kernel steps and publishes a
+    /// snapshot of the warmed machine; every later run of the class
+    /// restores that snapshot and swaps in its own controller instead of
+    /// re-simulating the prefix.  Results are bit-identical to
+    /// [`Self::begin`] by the prefix-fork contract
+    /// (`snapshot::fork_prefix`).
+    ///
+    /// Degenerate prefixes are handled by abandoning the key: a run that
+    /// finishes inside the prefix, or a prefix that crosses the first
+    /// control-interval boundary, is not shareable, and all runs of the
+    /// class fall back to fresh construction (the abandoning owner
+    /// re-begins from scratch, trading one wasted warm-up for the
+    /// invariant that a returned run never needs special stepping).
+    pub fn begin_prefixed(
+        &self,
+        bench: Benchmark,
+        kind: &ConfigKind,
+        checkpoints: &CheckpointCache,
+        prefix_cycles: u64,
+    ) -> PausableRun {
+        let key = self.prefix_key(bench, kind, prefix_cycles);
+        match checkpoints.claim(key) {
+            CheckpointClaim::Ready(bytes) => {
+                let controller = self.controller(bench, kind);
+                fork_prefix(&bytes, kind, controller, self.traces.as_deref()).expect(
+                    "a published warm-up snapshot always forks: it was taken in \
+                     interval 0 from bytes this process just produced",
+                )
+            }
+            CheckpointClaim::Fresh => self.begin(bench, kind),
+            CheckpointClaim::Owner => {
+                // Unwind safety: if the warm-up panics, the key must not
+                // leave sibling claimants blocked forever.
+                struct AbandonOnDrop<'a> {
+                    cache: &'a CheckpointCache,
+                    key: u128,
+                    armed: bool,
+                }
+                impl Drop for AbandonOnDrop<'_> {
+                    fn drop(&mut self) {
+                        if self.armed {
+                            self.cache.abandon(self.key);
+                        }
+                    }
+                }
+                let mut guard = AbandonOnDrop {
+                    cache: checkpoints,
+                    key,
+                    armed: true,
+                };
+                let mut run = self.begin(bench, kind);
+                match run.step(prefix_cycles) {
+                    Some(_) => {
+                        // Finished inside the prefix: nothing shareable,
+                        // and a finished run must not be returned.  The
+                        // guard abandons the key; siblings and this call
+                        // begin fresh.
+                        drop(guard);
+                        self.begin(bench, kind)
+                    }
+                    None if run.interval_index() == 0 => {
+                        checkpoints.publish(key, snapshot(&run));
+                        guard.armed = false;
+                        run
+                    }
+                    None => {
+                        // Crossed the first interval boundary: the
+                        // controller has acted, so the state is no
+                        // longer configuration-independent.  Keep the
+                        // warmed run for ourselves (it is *this*
+                        // configuration's own trajectory), abandon the
+                        // key for everyone else.
+                        drop(guard);
+                        run
+                    }
+                }
+            }
+        }
+    }
+
     /// Records a finished outcome: baseline-MCD runs cache their activity
     /// profile for the off-line oracle.  Called by `run` and by the
     /// experiment engine's slice scheduler when a run completes.
@@ -540,6 +689,76 @@ mod tests {
             fresh.profile_for(Benchmark::Gzip).len(),
             whole.result.profile.len()
         );
+    }
+
+    #[test]
+    fn prefix_keys_partition_configs_into_warm_up_classes() {
+        let runner = BenchmarkRunner::new(10_000, 7);
+        let base = runner.prefix_key(Benchmark::Gzip, &ConfigKind::BaselineMcd, 2_000);
+        // Same class: Attack/Decay starts every domain at the maximum
+        // frequency on the same MCD machine.
+        assert_eq!(
+            base,
+            runner.prefix_key(
+                Benchmark::Gzip,
+                &ConfigKind::AttackDecay(AttackDecayParams::paper_defaults()),
+                2_000,
+            )
+        );
+        // Different base machine (fully synchronous vs MCD).
+        let sync = runner.prefix_key(Benchmark::Gzip, &ConfigKind::FullySynchronous, 2_000);
+        assert_ne!(base, sync);
+        // Different initial frequencies (global scaling pins every
+        // domain below the maximum).
+        assert_ne!(
+            sync,
+            runner.prefix_key(
+                Benchmark::Gzip,
+                &ConfigKind::GlobalScaling { freq_mhz: 800.0 },
+                2_000,
+            )
+        );
+        // Different workload, different prefix length.
+        assert_ne!(
+            base,
+            runner.prefix_key(Benchmark::Adpcm, &ConfigKind::BaselineMcd, 2_000)
+        );
+        assert_ne!(
+            base,
+            runner.prefix_key(Benchmark::Gzip, &ConfigKind::BaselineMcd, 4_000)
+        );
+    }
+
+    #[test]
+    fn unshareable_prefixes_are_abandoned_without_changing_results() {
+        use crate::cache::CheckpointCache;
+
+        // A prefix long enough to cross the first control-interval
+        // boundary is not shareable: the owner keeps its own warmed run,
+        // the key is abandoned, and siblings begin fresh.
+        let runner = BenchmarkRunner::new(25_000, 7)
+            .with_interval(1_000)
+            .with_result_caching(false);
+        let kind = ConfigKind::BaselineMcd;
+        let whole = runner.run(Benchmark::Gzip, &kind);
+
+        let checkpoints = CheckpointCache::default();
+        let mut owner = runner.begin_prefixed(Benchmark::Gzip, &kind, &checkpoints, 20_000);
+        assert!(
+            owner.interval_index() > 0,
+            "the prefix must have crossed an interval boundary"
+        );
+        let mut sibling = runner.begin_prefixed(Benchmark::Gzip, &kind, &checkpoints, 20_000);
+        assert_eq!(sibling.interval_index(), 0, "siblings begin fresh");
+        let stats = checkpoints.stats();
+        assert_eq!(stats.published, 0);
+        assert_eq!(stats.abandoned, 1);
+        for run in [&mut owner, &mut sibling] {
+            let outcome = run
+                .step(u64::MAX)
+                .expect("an unbounded slice runs to completion");
+            assert_eq!(outcome.result, whole.result);
+        }
     }
 
     #[test]

@@ -123,6 +123,17 @@ impl TraceCursor {
     pub fn position(&self) -> u64 {
         self.pos as u64
     }
+
+    /// Repositions the cursor (used when restoring a checkpointed run).
+    /// Returns `false` (and leaves the cursor unchanged) if `pos` lies
+    /// beyond the end of the trace.
+    pub fn seek(&mut self, pos: u64) -> bool {
+        if pos > self.trace.len() {
+            return false;
+        }
+        self.pos = pos as usize;
+        true
+    }
 }
 
 impl InstructionStream for TraceCursor {

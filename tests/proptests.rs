@@ -7,6 +7,7 @@ use mcd::clock::{DomainId, OperatingPointTable, SyncWindow};
 use mcd::control::{
     AttackDecayController, AttackDecayParams, DomainSample, FrequencyController, IntervalSample,
 };
+use mcd::core::{restore_with, snapshot, BenchmarkRunner, ConfigKind};
 use mcd::isa::{InstructionStream, MemInfo, Reg};
 use mcd::microarch::{
     Cache, CacheConfig, IssueQueue, LoadStoreQueue, LsqIssue, ReorderBuffer, RobEntry,
@@ -538,6 +539,80 @@ proptest! {
             "trace replay with slices {:?} changed the result",
             slices
         );
+    }
+
+    /// Snapshot/restore replay contract: for *any* chain of pause points
+    /// — including degenerate single-step pauses, pauses mid-frequency-
+    /// ramp (Attack/Decay under a short control interval), and pauses
+    /// holding a mid-trace cursor (shared-trace replay) — serializing the
+    /// paused run to bytes, dropping the live run, and restoring from the
+    /// bytes must leave the final `SimResult` bit-identical to the
+    /// uninterrupted run.  This is the contract both the run-bundle
+    /// verifier and the checkpoint prefix-fork rest on.
+    #[test]
+    fn snapshot_restore_chains_are_bit_identical(
+        raw_pauses in proptest::collection::vec((0u8..4, 0u64..45_000), 1..6),
+        bench_sel in 0u8..2,
+        share_sel in 0u8..2,
+        config_sel in 0u8..2,
+        seed in 0u64..1_000,
+    ) {
+        let pauses: Vec<u64> = raw_pauses
+            .iter()
+            .map(|&(class, magnitude)| match class {
+                0 => 1,
+                1 => 2 + magnitude % 200,
+                2 => 5_000 + magnitude,
+                _ => 1_000_000 + magnitude,
+            })
+            .collect();
+        let bench = if bench_sel == 0 { Benchmark::Gzip } else { Benchmark::Swim };
+        let kind = if config_sel == 0 {
+            ConfigKind::AttackDecay(AttackDecayParams::paper_defaults())
+        } else {
+            ConfigKind::BaselineMcd
+        };
+        let share_traces = share_sel == 1;
+        let insts = 3_000;
+        // The short control interval forces frequency ramps under
+        // Attack/Decay, so some pause points land mid-ramp.
+        let runner = BenchmarkRunner::new(insts, seed)
+            .with_interval(500)
+            .with_trace_sharing(share_traces)
+            .with_result_caching(false);
+        let whole = runner.run(bench, &kind);
+
+        let mut run = runner.begin(bench, &kind);
+        let mut early = None;
+        for &pause in &pauses {
+            match run.step(pause) {
+                Some(outcome) => {
+                    early = Some(outcome);
+                    break;
+                }
+                None => {
+                    let bytes = snapshot(&run);
+                    drop(run);
+                    run = restore_with(&bytes, runner.trace_cache().map(|c| c.as_ref()))
+                        .expect("snapshot restores");
+                }
+            }
+        }
+        let outcome = match early {
+            Some(o) => o,
+            None => loop {
+                if let Some(o) = run.step(u64::MAX) {
+                    break o;
+                }
+            },
+        };
+        prop_assert!(
+            outcome.result == whole.result,
+            "pause chain {:?} changed the result (sharing={})",
+            pauses,
+            share_traces
+        );
+        prop_assert_eq!(outcome.result.committed_instructions, insts);
     }
 }
 

@@ -18,3 +18,313 @@ impl<T: ?Sized> Serialize for T {}
 /// Marker stand-in for `serde::Deserialize` (blanket-implemented).
 pub trait Deserialize<'de>: Sized {}
 impl<'de, T> Deserialize<'de> for T {}
+
+/// Hand-rolled little-endian byte codec.
+///
+/// The real `serde` would bring a data-model-driven serializer; this
+/// stand-in cannot, so the workspace's snapshot layer reads and writes
+/// fields explicitly through [`codec::ByteWriter`] / [`codec::ByteReader`].
+/// Living here keeps the codec available to every crate (they all already
+/// depend on `serde`) without new manifest entries.
+pub mod codec {
+    /// Errors produced while decoding a byte stream.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum CodecError {
+        /// The reader ran off the end of the buffer.
+        UnexpectedEof {
+            /// Byte offset at which more data was needed.
+            at: usize,
+        },
+        /// A tag or sentinel had an unexpected value.
+        BadTag {
+            /// What was being decoded.
+            what: &'static str,
+            /// The offending value.
+            got: u64,
+        },
+        /// Decoding finished with bytes left over.
+        TrailingBytes {
+            /// Number of unread bytes.
+            remaining: usize,
+        },
+    }
+
+    impl std::fmt::Display for CodecError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                CodecError::UnexpectedEof { at } => {
+                    write!(f, "unexpected end of input at byte {at}")
+                }
+                CodecError::BadTag { what, got } => {
+                    write!(f, "invalid {what} tag: {got}")
+                }
+                CodecError::TrailingBytes { remaining } => {
+                    write!(f, "{remaining} trailing bytes after decode")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for CodecError {}
+
+    /// Decoding result.
+    pub type Result<T> = std::result::Result<T, CodecError>;
+
+    /// Appends little-endian primitive values to a growable buffer.
+    #[derive(Debug, Default)]
+    pub struct ByteWriter {
+        buf: Vec<u8>,
+    }
+
+    impl ByteWriter {
+        /// Creates an empty writer.
+        pub fn new() -> Self {
+            ByteWriter::default()
+        }
+
+        /// Consumes the writer, returning the encoded bytes.
+        pub fn into_vec(self) -> Vec<u8> {
+            self.buf
+        }
+
+        /// Number of bytes written so far.
+        pub fn len(&self) -> usize {
+            self.buf.len()
+        }
+
+        /// Whether nothing has been written yet.
+        pub fn is_empty(&self) -> bool {
+            self.buf.is_empty()
+        }
+
+        /// Writes one byte.
+        pub fn put_u8(&mut self, v: u8) {
+            self.buf.push(v);
+        }
+
+        /// Writes a `u16`.
+        pub fn put_u16(&mut self, v: u16) {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+
+        /// Writes a `u32`.
+        pub fn put_u32(&mut self, v: u32) {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+
+        /// Writes a `u64`.
+        pub fn put_u64(&mut self, v: u64) {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+
+        /// Writes a `u128`.
+        pub fn put_u128(&mut self, v: u128) {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+
+        /// Writes a `usize` as a `u64` (portable across word sizes).
+        pub fn put_usize(&mut self, v: usize) {
+            self.put_u64(v as u64);
+        }
+
+        /// Writes an `f64` as its IEEE-754 bit pattern.
+        pub fn put_f64(&mut self, v: f64) {
+            self.put_u64(v.to_bits());
+        }
+
+        /// Writes a `bool` as one byte (0 or 1).
+        pub fn put_bool(&mut self, v: bool) {
+            self.put_u8(u8::from(v));
+        }
+
+        /// Writes raw bytes (unprefixed; pair with a known length).
+        pub fn put_bytes(&mut self, v: &[u8]) {
+            self.buf.extend_from_slice(v);
+        }
+
+        /// Writes a length-prefixed UTF-8 string.
+        pub fn put_str(&mut self, v: &str) {
+            self.put_usize(v.len());
+            self.buf.extend_from_slice(v.as_bytes());
+        }
+    }
+
+    /// Reads little-endian primitive values from a byte slice.
+    #[derive(Debug)]
+    pub struct ByteReader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> ByteReader<'a> {
+        /// Creates a reader over `buf`.
+        pub fn new(buf: &'a [u8]) -> Self {
+            ByteReader { buf, pos: 0 }
+        }
+
+        /// Number of unread bytes.
+        pub fn remaining(&self) -> usize {
+            self.buf.len() - self.pos
+        }
+
+        /// Current read offset.
+        pub fn position(&self) -> usize {
+            self.pos
+        }
+
+        fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+            if self.remaining() < n {
+                return Err(CodecError::UnexpectedEof { at: self.pos });
+            }
+            let s = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(s)
+        }
+
+        /// Reads one byte.
+        pub fn u8(&mut self) -> Result<u8> {
+            Ok(self.take(1)?[0])
+        }
+
+        /// Reads a `u16`.
+        pub fn u16(&mut self) -> Result<u16> {
+            Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+        }
+
+        /// Reads a `u32`.
+        pub fn u32(&mut self) -> Result<u32> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        }
+
+        /// Reads a `u64`.
+        pub fn u64(&mut self) -> Result<u64> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        }
+
+        /// Reads a `u128`.
+        pub fn u128(&mut self) -> Result<u128> {
+            Ok(u128::from_le_bytes(
+                self.take(16)?.try_into().expect("len 16"),
+            ))
+        }
+
+        /// Reads a `usize` encoded as a `u64`.
+        pub fn usize(&mut self) -> Result<usize> {
+            let v = self.u64()?;
+            usize::try_from(v).map_err(|_| CodecError::BadTag {
+                what: "usize",
+                got: v,
+            })
+        }
+
+        /// Reads an `f64` from its IEEE-754 bit pattern.
+        pub fn f64(&mut self) -> Result<f64> {
+            Ok(f64::from_bits(self.u64()?))
+        }
+
+        /// Reads a `bool`, rejecting values other than 0 and 1.
+        pub fn bool(&mut self) -> Result<bool> {
+            match self.u8()? {
+                0 => Ok(false),
+                1 => Ok(true),
+                other => Err(CodecError::BadTag {
+                    what: "bool",
+                    got: u64::from(other),
+                }),
+            }
+        }
+
+        /// Reads `n` raw bytes.
+        pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+            self.take(n)
+        }
+
+        /// Reads a length-prefixed UTF-8 string.
+        pub fn str(&mut self) -> Result<String> {
+            let len = self.usize()?;
+            let at = self.pos;
+            let raw = self.take(len)?;
+            String::from_utf8(raw.to_vec()).map_err(|_| CodecError::BadTag {
+                what: "utf-8 string",
+                got: at as u64,
+            })
+        }
+
+        /// Asserts that every byte has been consumed.
+        pub fn finish(&self) -> Result<()> {
+            if self.remaining() == 0 {
+                Ok(())
+            } else {
+                Err(CodecError::TrailingBytes {
+                    remaining: self.remaining(),
+                })
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn primitives_round_trip() {
+            let mut w = ByteWriter::new();
+            w.put_u8(0xab);
+            w.put_u16(0x1234);
+            w.put_u32(0xdead_beef);
+            w.put_u64(u64::MAX - 7);
+            w.put_u128(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
+            w.put_usize(42);
+            w.put_f64(-1.5e300);
+            w.put_bool(true);
+            w.put_bool(false);
+            w.put_str("snapshot");
+            w.put_bytes(&[1, 2, 3]);
+            let bytes = w.into_vec();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(r.u8().unwrap(), 0xab);
+            assert_eq!(r.u16().unwrap(), 0x1234);
+            assert_eq!(r.u32().unwrap(), 0xdead_beef);
+            assert_eq!(r.u64().unwrap(), u64::MAX - 7);
+            assert_eq!(r.u128().unwrap(), 0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
+            assert_eq!(r.usize().unwrap(), 42);
+            assert_eq!(r.f64().unwrap(), -1.5e300);
+            assert!(r.bool().unwrap());
+            assert!(!r.bool().unwrap());
+            assert_eq!(r.str().unwrap(), "snapshot");
+            assert_eq!(r.bytes(3).unwrap(), &[1, 2, 3]);
+            r.finish().unwrap();
+        }
+
+        #[test]
+        fn f64_bit_patterns_survive() {
+            for v in [0.0, -0.0, f64::INFINITY, f64::MIN_POSITIVE, 1.0 / 3.0] {
+                let mut w = ByteWriter::new();
+                w.put_f64(v);
+                let b = w.into_vec();
+                let got = ByteReader::new(&b).f64().unwrap();
+                assert_eq!(got.to_bits(), v.to_bits());
+            }
+        }
+
+        #[test]
+        fn eof_and_trailing_are_reported() {
+            let mut r = ByteReader::new(&[1, 2]);
+            assert_eq!(r.u8().unwrap(), 1);
+            assert!(matches!(r.u64(), Err(CodecError::UnexpectedEof { at: 1 })));
+            assert!(matches!(
+                r.finish(),
+                Err(CodecError::TrailingBytes { remaining: 1 })
+            ));
+        }
+
+        #[test]
+        fn bad_bool_is_rejected() {
+            let mut r = ByteReader::new(&[7]);
+            assert!(matches!(
+                r.bool(),
+                Err(CodecError::BadTag { what: "bool", .. })
+            ));
+        }
+    }
+}
