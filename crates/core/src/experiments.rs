@@ -65,10 +65,15 @@ pub struct ExperimentSettings {
     /// runs whose configurations are indistinguishable over the prefix
     /// share one warmed-up machine snapshot instead of each
     /// re-simulating it (None: the `MCD_PREFIX_CYCLES` environment
-    /// variable, then disabled; `Some(0)` explicitly disables).  The
-    /// fork contract keeps results bit-identical, so this never affects
-    /// simulated results.
+    /// variable, then auto-picked as half the control interval;
+    /// `Some(0)` explicitly disables).  The fork contract keeps results
+    /// bit-identical, so this never affects simulated results.
     pub prefix_cycles: Option<u64>,
+    /// Gang execution: step same-trace grid cells cooperatively through
+    /// shared trace windows under one scheduler slot (None: enabled
+    /// unless `MCD_NO_GANG=1`).  Gang membership and window size are
+    /// scheduling-only and never affect simulated results.
+    pub gang: Option<bool>,
 }
 
 impl ExperimentSettings {
@@ -95,6 +100,7 @@ impl ExperimentSettings {
             share_traces: None,
             result_cache: None,
             prefix_cycles: None,
+            gang: None,
         }
     }
 
@@ -114,6 +120,7 @@ impl ExperimentSettings {
             share_traces: None,
             result_cache: None,
             prefix_cycles: None,
+            gang: None,
         }
     }
 
@@ -168,6 +175,12 @@ impl ExperimentSettings {
     /// checkpoint forking (`0` disables).
     pub fn with_prefix_cycles(mut self, prefix_cycles: u64) -> Self {
         self.prefix_cycles = Some(prefix_cycles);
+        self
+    }
+
+    /// Builder-style enable/disable of gang execution.
+    pub fn with_gang(mut self, gang: bool) -> Self {
+        self.gang = Some(gang);
         self
     }
 
@@ -792,6 +805,7 @@ mod tests {
             share_traces: None,
             result_cache: None,
             prefix_cycles: None,
+            gang: None,
         }
     }
 
@@ -910,6 +924,7 @@ mod tests {
             share_traces: None,
             result_cache: None,
             prefix_cycles: None,
+            gang: None,
         });
         let fig = figure4::from_outcomes(&outcomes);
         assert_eq!(fig.rows.len(), 2);
@@ -953,6 +968,7 @@ mod tests {
             share_traces: None,
             result_cache: None,
             prefix_cycles: None,
+            gang: None,
         };
         let sweep = sensitivity::sweep_decay(&settings, &[0.0005, 0.0075]);
         assert_eq!(sweep.points.len(), 2);

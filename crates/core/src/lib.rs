@@ -63,13 +63,13 @@ pub use cache::{
     ResultCacheStats, TraceCache, TraceCacheStats, TraceKey,
 };
 pub use engine::{
-    admission_priority, parallel_map, prefix_cycles, result_caching_enabled, slice_cycles,
-    trace_sharing_enabled, worker_count, EngineStats, ExperimentEngine, JobSpec, RunPlan,
-    DEFAULT_SLICE_CYCLES,
+    admission_priority, gang_enabled, gang_window_insts, parallel_map, prefix_cycles,
+    result_caching_enabled, slice_cycles, trace_sharing_enabled, worker_count, EngineStats,
+    ExperimentEngine, JobSpec, RunPlan, DEFAULT_GANG_WINDOW_INSTS, DEFAULT_SLICE_CYCLES,
 };
 pub use experiments::ExperimentSettings;
 pub use metrics::{suite_average, Comparison, RunMetrics};
-pub use runner::{BenchmarkRunner, ConfigKind, PausableRun, RunOutcome};
+pub use runner::{BenchmarkRunner, ConfigKind, GangRun, PausableRun, RunOutcome, RunStream};
 pub use snapshot::{
     fork_prefix, restore, restore_with, snapshot, SnapshotHeader, SNAPSHOT_VERSION,
 };

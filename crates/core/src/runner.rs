@@ -123,6 +123,25 @@ impl std::fmt::Debug for PausableRun {
 }
 
 impl PausableRun {
+    /// Packages an externally built machine and stream as a pausable run
+    /// (used by the golden harness and the gang proptests to drive
+    /// hand-constructed members through [`GangRun`]; the engine's runs
+    /// come from [`BenchmarkRunner::begin`]).
+    pub fn from_parts(
+        benchmark: Benchmark,
+        config: ConfigKind,
+        cpu: McdProcessor,
+        stream: RunStream,
+    ) -> Self {
+        PausableRun {
+            benchmark,
+            config,
+            cpu,
+            stream,
+            trace_bytes: 0,
+        }
+    }
+
     /// The benchmark this run executes.
     pub fn benchmark(&self) -> Benchmark {
         self.benchmark
@@ -150,6 +169,16 @@ impl PausableRun {
         self.cpu.is_done()
     }
 
+    /// The shared-trace position of this run's stream, or `None` when
+    /// the stream generates live.  Gang execution uses this to hold
+    /// same-trace members inside one lockstep window.
+    pub fn trace_position(&self) -> Option<u64> {
+        match &self.stream {
+            RunStream::Live(_) => None,
+            RunStream::Trace(c) => Some(c.position()),
+        }
+    }
+
     /// Runs at most `max_cycles` kernel steps.  Returns `None` when the
     /// run paused (call again to continue) and the outcome when it
     /// finished.  A finished run must not be stepped again.
@@ -165,6 +194,154 @@ impl PausableRun {
                 })
             }
         }
+    }
+}
+
+/// One member of a [`GangRun`]: the run plus the caller's slot id for
+/// its outcome (`None` once finished).
+#[derive(Debug)]
+struct GangMember {
+    slot: usize,
+    run: Option<Box<PausableRun>>,
+}
+
+/// K same-workload runs stepped cooperatively through one shared trace
+/// in lockstep windows.
+///
+/// A gang occupies a single scheduler slot: members advance round-robin,
+/// and a member whose cursor has moved past the common window waits for
+/// the laggard to catch up, so all members read the same hot `DynInst`
+/// span (see [`mcd_workloads::SharedTrace::window`]) and the span stays
+/// cache-resident instead of being re-streamed once per run.
+///
+/// Membership, member order and the window size are scheduling decisions
+/// only: each member's machine still consumes its own full stream through
+/// `run_for`, whose pause boundaries are invisible in results by the
+/// pause/resume contract — so every member's [`RunOutcome`] is
+/// bit-identical to running it alone.
+#[derive(Debug)]
+pub struct GangRun {
+    members: Vec<GangMember>,
+    finished: Vec<(usize, RunOutcome)>,
+    /// Round-robin pick cursor over `members`.
+    next: usize,
+    live: usize,
+    window_insts: u64,
+}
+
+impl GangRun {
+    /// Creates an empty gang with the given lockstep window length (in
+    /// trace instructions).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window_insts` is zero.
+    pub fn new(window_insts: u64) -> Self {
+        assert!(window_insts > 0, "gang window length must be positive");
+        GangRun {
+            members: Vec::new(),
+            finished: Vec::new(),
+            next: 0,
+            live: 0,
+            window_insts,
+        }
+    }
+
+    /// Adds a member; `slot` tags the member's outcome in
+    /// [`Self::take_finished`].
+    pub fn push(&mut self, slot: usize, run: Box<PausableRun>) {
+        assert!(!run.is_done(), "a finished run cannot join a gang");
+        self.members.push(GangMember {
+            slot,
+            run: Some(run),
+        });
+        self.live += 1;
+    }
+
+    /// Number of members ever added.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the gang has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Members still running.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Whether every member has finished.
+    pub fn is_done(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The lockstep window length in trace instructions.
+    pub fn window_insts(&self) -> u64 {
+        self.window_insts
+    }
+
+    /// Runs the gang for at most `max_cycles` kernel steps in total,
+    /// spent in window-sized chunks round-robin across live members
+    /// (members ahead of the laggard's window stand aside so the shared
+    /// span stays hot).  Call repeatedly until [`Self::is_done`];
+    /// finished members accumulate in [`Self::take_finished`].
+    pub fn step(&mut self, max_cycles: u64) {
+        let mut budget = max_cycles;
+        while budget > 0 && self.live > 0 {
+            // One chunk of kernel steps roughly covers one trace window
+            // (commit rate is at most one instruction per step on
+            // average); the exact ratio is a locality heuristic with no
+            // result impact.
+            let chunk = self.window_insts.min(budget);
+            let idx = self.pick();
+            let member = &mut self.members[idx];
+            let run = member.run.as_mut().expect("picked member is live");
+            if let Some(outcome) = run.step(chunk) {
+                self.finished.push((member.slot, outcome));
+                member.run = None;
+                self.live -= 1;
+            }
+            budget -= chunk;
+        }
+    }
+
+    /// The next live member to step: round-robin, skipping members whose
+    /// trace cursor has already left the laggard's window.  Live-stream
+    /// members (no shared trace) are always eligible.
+    fn pick(&mut self) -> usize {
+        debug_assert!(self.live > 0);
+        let laggard = self
+            .members
+            .iter()
+            .filter_map(|m| m.run.as_ref())
+            .filter_map(|r| r.trace_position())
+            .map(|pos| pos / self.window_insts)
+            .min();
+        let n = self.members.len();
+        for _ in 0..n {
+            let idx = self.next;
+            self.next = (self.next + 1) % n;
+            let Some(run) = self.members[idx].run.as_ref() else {
+                continue;
+            };
+            let ahead = match (laggard, run.trace_position()) {
+                (Some(lag), Some(pos)) => pos / self.window_insts > lag,
+                _ => false,
+            };
+            if !ahead {
+                return idx;
+            }
+        }
+        unreachable!("a live gang always has an eligible member (the laggard itself)")
+    }
+
+    /// Drains the outcomes of members that finished since the last call,
+    /// tagged with their slot ids.
+    pub fn take_finished(&mut self) -> Vec<(usize, RunOutcome)> {
+        std::mem::take(&mut self.finished)
     }
 }
 
@@ -758,6 +935,43 @@ mod tests {
                 .step(u64::MAX)
                 .expect("an unbounded slice runs to completion");
             assert_eq!(outcome.result, whole.result);
+        }
+    }
+
+    #[test]
+    fn gang_members_finish_bit_identical_to_solo_runs() {
+        let runner = BenchmarkRunner::new(10_000, 7).with_result_caching(false);
+        let kinds = [
+            ConfigKind::BaselineMcd,
+            ConfigKind::AttackDecay(AttackDecayParams::paper_defaults()),
+            ConfigKind::GlobalScaling { freq_mhz: 750.0 },
+        ];
+        let solo: Vec<_> = kinds
+            .iter()
+            .map(|k| runner.run(Benchmark::Gzip, k))
+            .collect();
+        // The same three cells as one gang over the shared trace,
+        // stepped in small lockstep windows across many budget slices.
+        let mut gang = GangRun::new(512);
+        for (slot, k) in kinds.iter().enumerate() {
+            gang.push(slot, Box::new(runner.begin(Benchmark::Gzip, k)));
+        }
+        assert_eq!(gang.len(), 3);
+        assert_eq!(gang.live(), 3);
+        assert_eq!(gang.window_insts(), 512);
+        let mut outcomes: Vec<Option<RunOutcome>> = (0..3).map(|_| None).collect();
+        while !gang.is_done() {
+            gang.step(2_048);
+            for (slot, o) in gang.take_finished() {
+                outcomes[slot] = Some(o);
+            }
+        }
+        for (slot, expected) in solo.iter().enumerate() {
+            let got = outcomes[slot].as_ref().expect("every member finished");
+            assert_eq!(
+                got.result, expected.result,
+                "gang membership changed slot {slot}"
+            );
         }
     }
 

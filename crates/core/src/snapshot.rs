@@ -46,7 +46,13 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MCDSNAP\0";
 /// Version of the snapshot encoding.  Bump on **any** change to the
 /// container layout or to a component `save`/`load` pair it invokes;
 /// the format pin test fails loudly when bytes drift without a bump.
-pub const SNAPSHOT_VERSION: u16 = 1;
+///
+/// History: v2 — retirement wakeups that do not improve a consumer's
+/// readiness time are no longer pushed, so the serialized event-traffic
+/// counters of `DomainTimeline` diverge from v1 mid-run (a v1 snapshot
+/// resumed under v2 would report different telemetry than an unpaused
+/// v2 run, breaking the checkpoint bit-identity contract).
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 /// The run identity recorded in a snapshot's header: everything needed
 /// to rebuild the immutable halves of the machine before overlaying the
@@ -560,10 +566,10 @@ mod tests {
         assert!(run.step(5_000).is_none());
         let bytes = snapshot(&run);
 
-        // Header: magic, version 1, gzip (index 23), Attack/Decay tag.
+        // Header: magic, version 2, gzip (index 23), Attack/Decay tag.
         let mut expected_header = Vec::new();
         expected_header.extend_from_slice(&SNAPSHOT_MAGIC);
-        expected_header.extend_from_slice(&1u16.to_le_bytes());
+        expected_header.extend_from_slice(&2u16.to_le_bytes());
         expected_header.push(23);
         expected_header.push(2);
         assert_eq!(
@@ -576,7 +582,7 @@ mod tests {
         h.write_raw(&bytes);
         assert_eq!(
             h.finish(),
-            0x9ed5_971d_11bf_eca4_d28a_d233_0998_3488,
+            0x0900_aa87_7fe7_982a_1cd5_3ebc_dcea_b595,
             "snapshot content hash changed — the encoding of some component \
              drifted; bump SNAPSHOT_VERSION and re-pin this hash"
         );

@@ -422,11 +422,15 @@ impl InFlightTable {
     /// its *result visibility* in their domain become ready as soon as the
     /// retirement is observable — possibly earlier than the cross-domain
     /// visibility they were woken for.  Each matching source contribution
-    /// is lowered to `now` and consumers with no outstanding producers are
-    /// appended to `rewoken` with their recomputed readiness time; the
-    /// caller re-queues them (the timeline's ready lists deduplicate, so a
-    /// consumer that was already woken at a later time is simply promoted
-    /// earlier).
+    /// is lowered to `now`, and consumers with no outstanding producers
+    /// whose readiness time *strictly improved* are appended to `rewoken`;
+    /// the caller re-queues them at the earlier time.  Consumers whose
+    /// readiness did not move are suppressed: a fully-woken, unissued
+    /// consumer always has a wakeup scheduled at exactly its current
+    /// readiness time (`complete` establishes it and every strictly
+    /// lowering retirement re-establishes it), so re-pushing an equal time
+    /// would only feed the timeline's ready-list deduplication another
+    /// redundant event.
     pub(crate) fn remove(
         &mut self,
         seq: SeqNum,
@@ -447,16 +451,18 @@ impl InFlightTable {
             }
             let domain = exec_domain_of(self.hot[cslot].op);
             let chot = &mut self.hot[cslot];
+            let before = chot.ready_time();
             let n = chot.producers.len as usize;
-            let mut lowered = false;
             for i in 0..n {
                 if chot.producers.items[i] == seq && chot.src_ready[i] > now {
                     chot.src_ready[i] = now;
-                    lowered = true;
                 }
             }
-            if lowered && chot.pending == 0 && !chot.issued {
-                rewoken.push((c, domain, chot.ready_time()));
+            if chot.pending == 0 && !chot.issued {
+                let after = chot.ready_time();
+                if after < before {
+                    rewoken.push((c, domain, after));
+                }
             }
         }
         let mut list = list;

@@ -30,6 +30,7 @@ fn quick_settings(benchmarks: Vec<Benchmark>) -> ExperimentSettings {
         share_traces: None,
         result_cache: None,
         prefix_cycles: None,
+        gang: None,
     }
 }
 

@@ -7,7 +7,7 @@ use mcd::clock::{DomainId, OperatingPointTable, SyncWindow};
 use mcd::control::{
     AttackDecayController, AttackDecayParams, DomainSample, FrequencyController, IntervalSample,
 };
-use mcd::core::{restore_with, snapshot, BenchmarkRunner, ConfigKind};
+use mcd::core::{restore_with, snapshot, BenchmarkRunner, ConfigKind, GangRun};
 use mcd::isa::{InstructionStream, MemInfo, Reg};
 use mcd::microarch::{
     Cache, CacheConfig, IssueQueue, LoadStoreQueue, LsqIssue, ReorderBuffer, RobEntry,
@@ -613,6 +613,82 @@ proptest! {
             share_traces
         );
         prop_assert_eq!(outcome.result.committed_instructions, insts);
+    }
+
+    /// Gang-execution bit-identity: for *any* gang size, lockstep window
+    /// length and sequence of step budgets, every member of a
+    /// [`GangRun`] must finish with a `SimResult` bit-identical to the
+    /// same run executed alone.  Gang membership, member order, window
+    /// size and step granularity are scheduling decisions only — this is
+    /// the invariant that lets the engine fuse a plan's same-trace grid
+    /// cells into one scheduler slot.
+    #[test]
+    fn gang_execution_is_bit_identical_to_solo_runs(
+        decay_steps in proptest::collection::vec(1u32..21, 2..6),
+        window_sel in 0u8..4,
+        raw_budgets in proptest::collection::vec((0u8..4, 0u64..45_000), 1..6),
+        seed in 0u64..1_000,
+    ) {
+        // Window classes: degenerate single-instruction windows, small
+        // windows (many hand-offs), mid-size, and windows larger than
+        // the whole trace (plain round-robin).
+        let window_insts = match window_sel {
+            0 => 1,
+            1 => 64,
+            2 => 1_000,
+            _ => 1 << 20,
+        };
+        let budgets: Vec<u64> = raw_budgets
+            .iter()
+            .map(|&(class, magnitude)| match class {
+                0 => 1,
+                1 => 2 + magnitude % 200,
+                2 => 5_000 + magnitude,
+                _ => 1_000_000 + magnitude,
+            })
+            .collect();
+        let insts = 3_000;
+        // Trace sharing stays on (the gang's members hold cursors into
+        // one trace, exercising the lockstep window bookkeeping); result
+        // caching off so every member actually simulates.
+        let runner = BenchmarkRunner::new(insts, seed)
+            .with_interval(500)
+            .with_result_caching(false);
+        let kinds: Vec<ConfigKind> = decay_steps
+            .iter()
+            .map(|&d| {
+                let mut p = AttackDecayParams::paper_defaults();
+                p.decay = f64::from(d) / 1_000.0;
+                ConfigKind::AttackDecay(p)
+            })
+            .collect();
+        let solo: Vec<_> = kinds
+            .iter()
+            .map(|k| runner.run(Benchmark::Gzip, k))
+            .collect();
+
+        let mut gang = GangRun::new(window_insts);
+        for (slot, kind) in kinds.iter().enumerate() {
+            gang.push(slot, Box::new(runner.begin(Benchmark::Gzip, kind)));
+        }
+        let mut i = 0usize;
+        while !gang.is_done() {
+            gang.step(budgets[i % budgets.len()]);
+            i += 1;
+        }
+        let mut finished = gang.take_finished();
+        finished.sort_by_key(|&(slot, _)| slot);
+        prop_assert_eq!(finished.len(), kinds.len());
+        for ((slot, outcome), reference) in finished.iter().zip(&solo) {
+            prop_assert!(
+                outcome.result == reference.result,
+                "gang member {} (window {}, budgets {:?}) diverged from its solo run",
+                slot,
+                window_insts,
+                budgets
+            );
+            prop_assert_eq!(outcome.result.committed_instructions, insts);
+        }
     }
 }
 
