@@ -13,12 +13,18 @@ use mcd_control::{
 use mcd_isa::{InstructionStream, OpClass};
 use mcd_microarch::{BranchPredictor, Cache, CacheConfig, IssueQueue};
 use mcd_sim::{McdProcessor, SimConfig};
-use mcd_workloads::{Benchmark, WorkloadGenerator};
+use mcd_workloads::{Benchmark, SharedTrace, WorkloadGenerator};
 
 /// End-to-end simulation kernel throughput: one full `McdProcessor::run`
 /// over a fixed instruction window.  This is the number the event-queue /
 /// slab kernel refactor is measured against (ISSUE 1 acceptance
 /// criterion), and the dominant cost of every experiment in `mcd-core`.
+///
+/// The `_traced` variants replay a pre-materialized [`SharedTrace`], so
+/// the frontend dispatches from the precomputed annotation sidecar
+/// instead of re-deriving producers from the rename map — the A/B pair
+/// quantifies the annotation-fed dispatch win (trace build cost is paid
+/// once outside the measurement loop, as it is in the engine).
 fn bench_processor_kernel(c: &mut Criterion) {
     let run = |bench: Benchmark, insts: u64| {
         let stream = WorkloadGenerator::new(&bench.spec(), 42, insts);
@@ -37,6 +43,21 @@ fn bench_processor_kernel(c: &mut Criterion) {
     c.bench_function("processor_run_mcf_20k", |b| {
         b.iter(|| black_box(run(Benchmark::Mcf, 20_000)))
     });
+    for (bench, name) in [
+        (Benchmark::Gzip, "processor_run_gzip_20k_traced"),
+        (Benchmark::Swim, "processor_run_swim_20k_traced"),
+    ] {
+        let trace = std::sync::Arc::new(SharedTrace::materialize(&bench.spec(), 42, 20_000));
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cpu = McdProcessor::new(
+                    SimConfig::baseline_mcd(20_000),
+                    Box::new(mcd_control::FixedController::at_max()),
+                );
+                black_box(cpu.run(trace.cursor()))
+            })
+        });
+    }
 }
 
 fn bench_branch_predictor(c: &mut Criterion) {
@@ -148,9 +169,12 @@ fn bench_workload_generation(c: &mut Criterion) {
 ///
 /// Alongside the timings, one instrumented run per kernel-bench workload
 /// records the event-timeline traffic counters (pushes, pops, overflow
-/// spills, bucket scans — see `mcd_sim::EventTrafficStats`), making the
-/// heap-vs-calendar trade and any overflow pathology measurable per
-/// workload per commit.
+/// spills, bucket scans, monotone-lane absorptions — see
+/// `mcd_sim::EventTrafficStats`), the derived events-per-commit ratio,
+/// and the dispatch-path counters (`ann_fed` from an annotation-fed
+/// trace replay, `ann_recomputed` from the live run), making the
+/// heap-vs-calendar trade, the lane's structural event-traffic cut and
+/// the annotation coverage measurable per workload per commit.
 fn export_results(c: &mut Criterion) {
     let results = c.take_results();
     if results.is_empty() {
@@ -158,6 +182,7 @@ fn export_results(c: &mut Criterion) {
     }
     let mut doc = serde_json::Value::object();
     doc.insert("experiment", "kernel_micro");
+    doc.insert("nproc", mcd_bench::nproc());
     let rows: Vec<serde_json::Value> = results
         .iter()
         .map(|r| {
@@ -176,20 +201,36 @@ fn export_results(c: &mut Criterion) {
     ]
     .iter()
     .map(|&(bench, name)| {
-        let stream = WorkloadGenerator::new(&bench.spec(), 42, 20_000);
+        let spec = bench.spec();
+        let stream = WorkloadGenerator::new(&spec, 42, 20_000);
         let mut cpu = McdProcessor::new(
             SimConfig::baseline_mcd(20_000),
             Box::new(mcd_control::FixedController::at_max()),
         );
-        let events = cpu.run(stream).host.events;
+        let live = cpu.run(stream);
+        let events = &live.host.events;
+        // A second, annotation-fed run of the same workload: bit-identical
+        // by contract, but its dispatch comes from the trace sidecar, so
+        // its `ann_fed` counter reports annotation coverage.
+        let trace = std::sync::Arc::new(SharedTrace::materialize(&spec, 42, 20_000));
+        let mut cpu = McdProcessor::new(
+            SimConfig::baseline_mcd(20_000),
+            Box::new(mcd_control::FixedController::at_max()),
+        );
+        let traced = cpu.run(trace.cursor());
+        assert!(traced == live, "trace replay diverged in the bench export");
         let mut row = serde_json::Value::object();
         row.insert("workload", name);
         row.insert("timeline_pushes", events.pushes);
         row.insert("timeline_pops", events.pops);
         row.insert("overflow_spills", events.overflow_spills);
         row.insert("bucket_scans", events.bucket_scans);
+        row.insert("lane_pushes", events.lane_pushes);
         row.insert("drain_passes", events.drains);
         row.insert("avg_bucket_scan", events.avg_bucket_scan());
+        row.insert("events_per_commit", live.events_per_commit());
+        row.insert("ann_fed", traced.host.ann_fed);
+        row.insert("ann_recomputed", live.host.ann_recomputed);
         row
     })
     .collect();

@@ -103,6 +103,15 @@ fn flag_value<T: std::str::FromStr>(
     None
 }
 
+/// The host's available hardware parallelism, recorded into every
+/// `BENCH_*.json` artefact so throughput numbers from different machines
+/// (or differently-limited containers) are never compared blind.
+pub fn nproc() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
+
 /// Writes the host-throughput artefact of one experiment run
 /// (`BENCH_<name>.json` in the results directory): engine statistics plus
 /// any experiment-specific extras.  This is what makes simulator-kernel
@@ -114,6 +123,7 @@ pub fn write_bench_json(
 ) -> PathBuf {
     let mut doc = serde_json::Value::object();
     doc.insert("experiment", name);
+    doc.insert("nproc", nproc());
     doc.insert("workers", stats.workers);
     doc.insert("slice_cycles", stats.slice_cycles);
     doc.insert("runs", stats.runs);
@@ -278,6 +288,7 @@ mod tests {
         let text = std::fs::read_to_string(path).unwrap();
         for needle in [
             "\"experiment\": \"unit\"",
+            "\"nproc\":",
             "\"workers\": 4",
             "\"slice_cycles\": 250000",
             "\"parallel_speedup\": 3",

@@ -201,6 +201,19 @@ pub fn gang_enabled(explicit: Option<bool>) -> bool {
         .unwrap_or(true)
 }
 
+/// Resolves whether gangs step their members with the batched
+/// data-level sweep (one pass per lockstep window feeding every due
+/// member in fixed order — see [`crate::runner::GangRun::step`]) instead
+/// of the legacy round-robin pick loop: an explicit request wins, then
+/// the `MCD_NO_GANG_BATCH` environment variable (`1` falls back to
+/// round-robin), then enabled.  Scheduling-only — either path yields
+/// bit-identical results (golden-diffed via `MCD_GOLDEN_BATCH`).
+pub fn gang_batch_enabled(explicit: Option<bool>) -> bool {
+    explicit
+        .or_else(|| env_disabled_knob("MCD_NO_GANG_BATCH"))
+        .unwrap_or(true)
+}
+
 /// Default lockstep window of gang execution, in trace instructions.
 /// 4096 `DynInst`s are a few hundred KiB — small enough to stay resident
 /// in a per-core L2 while every gang member streams through the span,

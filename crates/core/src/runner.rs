@@ -23,7 +23,7 @@ use crate::cache::{
     hash_spec, result_key, CheckpointCache, CheckpointClaim, ResultCache, ResultCacheStats,
     StableHasher, TraceCache, TraceCacheStats, TraceKey,
 };
-use crate::engine::{result_caching_enabled, trace_sharing_enabled};
+use crate::engine::{gang_batch_enabled, result_caching_enabled, trace_sharing_enabled};
 use crate::snapshot::{fork_prefix, snapshot};
 
 /// Which of the paper's configurations to run.
@@ -90,6 +90,15 @@ impl InstructionStream for RunStream {
         match self {
             RunStream::Live(g) => g.remaining_hint(),
             RunStream::Trace(c) => c.remaining_hint(),
+        }
+    }
+
+    fn annotations(&self) -> Option<&mcd_isa::TraceAnnotations> {
+        match self {
+            // Live generation carries no precomputed sidecar; the
+            // frontend re-derives dependences from the rename map.
+            RunStream::Live(_) => None,
+            RunStream::Trace(c) => c.annotations(),
         }
     }
 }
@@ -223,15 +232,21 @@ struct GangMember {
 pub struct GangRun {
     members: Vec<GangMember>,
     finished: Vec<(usize, RunOutcome)>,
-    /// Round-robin pick cursor over `members`.
+    /// Round-robin pick cursor over `members` (legacy stepping only).
     next: usize,
     live: usize,
     window_insts: u64,
+    /// Whether stepping uses the batched data-level sweep (default) or
+    /// the legacy round-robin pick loop.  Scheduling-only: both paths
+    /// yield bit-identical member results.
+    batched: bool,
 }
 
 impl GangRun {
     /// Creates an empty gang with the given lockstep window length (in
-    /// trace instructions).
+    /// trace instructions).  The stepping discipline defaults from
+    /// [`gang_batch_enabled`] (batched unless `MCD_NO_GANG_BATCH=1`);
+    /// override with [`GangRun::with_batched`].
     ///
     /// # Panics
     ///
@@ -244,7 +259,20 @@ impl GangRun {
             next: 0,
             live: 0,
             window_insts,
+            batched: gang_batch_enabled(None),
         }
+    }
+
+    /// Forces the stepping discipline: `true` for the batched data-level
+    /// sweep, `false` for the legacy round-robin pick loop.
+    pub fn with_batched(mut self, batched: bool) -> Self {
+        self.batched = batched;
+        self
+    }
+
+    /// Whether stepping uses the batched data-level sweep.
+    pub fn batched(&self) -> bool {
+        self.batched
     }
 
     /// Adds a member; `slot` tags the member's outcome in
@@ -284,17 +312,81 @@ impl GangRun {
     }
 
     /// Runs the gang for at most `max_cycles` kernel steps in total,
-    /// spent in window-sized chunks round-robin across live members
-    /// (members ahead of the laggard's window stand aside so the shared
-    /// span stays hot).  Call repeatedly until [`Self::is_done`];
-    /// finished members accumulate in [`Self::take_finished`].
+    /// spent in window-sized chunks across live members (members ahead
+    /// of the laggard's window stand aside so the shared span stays
+    /// hot).  Call repeatedly until [`Self::is_done`]; finished members
+    /// accumulate in [`Self::take_finished`].
+    ///
+    /// Two stepping disciplines exist (see [`GangRun::with_batched`]):
+    /// the batched data-level sweep walks the laggard's annotation/trace
+    /// window once and feeds every due member's frontend in fixed member
+    /// order before moving on, while the legacy path picks one member
+    /// per chunk round-robin.  Which discipline runs is a scheduling
+    /// decision only — member results are bit-identical either way
+    /// (diffed by the `MCD_GOLDEN_BATCH` golden mode).
     pub fn step(&mut self, max_cycles: u64) {
+        if self.batched {
+            self.step_batched(max_cycles);
+        } else {
+            self.step_round_robin(max_cycles);
+        }
+    }
+
+    /// Batched data-level stepping: each outer sweep fixes the laggard's
+    /// window, then steps *every* member due for that window one chunk
+    /// in member order, so the window's `DynInst` span and annotation
+    /// rows are walked while maximally hot instead of once per
+    /// round-robin hand-off.
+    fn step_batched(&mut self, max_cycles: u64) {
+        let mut budget = max_cycles;
+        let window = self.window_insts;
+        while budget > 0 && self.live > 0 {
+            // The sweep serves the laggard's window (`None` when no
+            // member reads a shared trace; every member is then due).
+            let laggard = self
+                .members
+                .iter()
+                .filter_map(|m| m.run.as_ref())
+                .filter_map(|r| r.trace_position())
+                .map(|pos| pos / window)
+                .min();
+            for idx in 0..self.members.len() {
+                if budget == 0 {
+                    break;
+                }
+                let member = &mut self.members[idx];
+                let Some(run) = member.run.as_mut() else {
+                    continue;
+                };
+                let ahead = match (laggard, run.trace_position()) {
+                    (Some(lag), Some(pos)) => pos / window > lag,
+                    _ => false,
+                };
+                if ahead {
+                    continue;
+                }
+                // One chunk of kernel steps roughly covers one trace
+                // window (commit rate is at most one instruction per
+                // step on average); the ratio is a locality heuristic
+                // with no result impact.
+                let chunk = window.min(budget);
+                if let Some(outcome) = run.step(chunk) {
+                    self.finished.push((member.slot, outcome));
+                    member.run = None;
+                    self.live -= 1;
+                }
+                budget -= chunk;
+            }
+            // Termination: the laggard member itself is live and never
+            // "ahead", so every sweep with remaining budget steps at
+            // least one member.
+        }
+    }
+
+    /// Legacy stepping: one member per chunk, picked round-robin.
+    fn step_round_robin(&mut self, max_cycles: u64) {
         let mut budget = max_cycles;
         while budget > 0 && self.live > 0 {
-            // One chunk of kernel steps roughly covers one trace window
-            // (commit rate is at most one instruction per step on
-            // average); the exact ratio is a locality heuristic with no
-            // result impact.
             let chunk = self.window_insts.min(budget);
             let idx = self.pick();
             let member = &mut self.members[idx];

@@ -52,7 +52,12 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MCDSNAP\0";
 /// counters of `DomainTimeline` diverge from v1 mid-run (a v1 snapshot
 /// resumed under v2 would report different telemetry than an unpaused
 /// v2 run, breaking the checkpoint bit-identity contract).
-pub const SNAPSHOT_VERSION: u16 = 2;
+/// v3 — each per-domain `Timeline` serializes its monotone lane (the
+/// sorted fast-path queue for in-order event pushes) between the
+/// overflow list and the ready list, and the event-traffic counters
+/// gained `lane_pushes`; v2 bytes place those events in the ring or
+/// overflow and lack the counter, so the layouts are incompatible.
+pub const SNAPSHOT_VERSION: u16 = 3;
 
 /// The run identity recorded in a snapshot's header: everything needed
 /// to rebuild the immutable halves of the machine before overlaying the
@@ -566,10 +571,10 @@ mod tests {
         assert!(run.step(5_000).is_none());
         let bytes = snapshot(&run);
 
-        // Header: magic, version 2, gzip (index 23), Attack/Decay tag.
+        // Header: magic, version 3, gzip (index 23), Attack/Decay tag.
         let mut expected_header = Vec::new();
         expected_header.extend_from_slice(&SNAPSHOT_MAGIC);
-        expected_header.extend_from_slice(&2u16.to_le_bytes());
+        expected_header.extend_from_slice(&3u16.to_le_bytes());
         expected_header.push(23);
         expected_header.push(2);
         assert_eq!(
@@ -582,7 +587,7 @@ mod tests {
         h.write_raw(&bytes);
         assert_eq!(
             h.finish(),
-            0x0900_aa87_7fe7_982a_1cd5_3ebc_dcea_b595,
+            0x321b_0f1e_b67b_10c5_5a61_d41e_86db_8453,
             "snapshot content hash changed — the encoding of some component \
              drifted; bump SNAPSHOT_VERSION and re-pin this hash"
         );

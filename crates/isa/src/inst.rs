@@ -34,6 +34,30 @@ impl MemInfo {
         self.addr & !(line_bytes - 1)
     }
 
+    /// Log2 of the store address-match filter granule in bytes (8-byte
+    /// granules: the widest access size, so any byte overlap implies a
+    /// shared granule).  Canonical here so the LSQ's filter and the trace
+    /// annotations compute identical masks.
+    pub const FILTER_GRANULE_SHIFT: u64 = 3;
+
+    /// The 64-bucket address-filter mask of this access: bit `b` is set
+    /// exactly when the access's byte range covers filter bucket `b`
+    /// (granule `g` maps to bucket `g % 64`).  An access of at most 255
+    /// bytes covers at most 33 granules — fewer than the 64 buckets — so
+    /// the covered bucket set is contiguous modulo 64 and no bucket is
+    /// covered twice.
+    #[inline]
+    pub fn filter_mask64(&self) -> u64 {
+        let first = self.addr >> Self::FILTER_GRANULE_SHIFT;
+        let last = (self.addr + self.size.max(1) as u64 - 1) >> Self::FILTER_GRANULE_SHIFT;
+        let width = last - first + 1;
+        if width >= 64 {
+            u64::MAX
+        } else {
+            ((1u64 << width) - 1).rotate_left((first % 64) as u32)
+        }
+    }
+
     /// Whether two accesses overlap in memory (byte granularity).
     pub fn overlaps(&self, other: &MemInfo) -> bool {
         let a0 = self.addr;

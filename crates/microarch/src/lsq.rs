@@ -45,11 +45,16 @@ use mcd_isa::{MemInfo, SeqNum};
 use serde::codec::{ByteReader, ByteWriter, Result as CodecResult};
 use serde::{Deserialize, Serialize};
 
-/// Number of buckets in the store address-match filter.
+/// Number of buckets in the store address-match filter.  Must equal the
+/// width of the canonical bucket mask ([`MemInfo::filter_mask64`]) — one
+/// `u64` bit per bucket — which also fixes the granule geometry.
 const FILTER_BUCKETS: usize = 64;
-/// Log2 of the filter granule size in bytes (8-byte granules: the widest
-/// access size, so any byte overlap implies a shared granule).
-const FILTER_GRANULE_SHIFT: u64 = 3;
+const _: () = assert!(FILTER_BUCKETS == u64::BITS as usize, "mask is one u64");
+// The granule geometry (8-byte granules: the widest access size, so any
+// byte overlap implies a shared granule) is canonical in `mcd_isa`
+// (`MemInfo::FILTER_GRANULE_SHIFT`) so trace annotations precompute masks
+// identical to the ones the queue derives itself.
+const _: () = assert!(MemInfo::FILTER_GRANULE_SHIFT == 3, "8-byte granules");
 
 /// State of one memory operation in the LSQ.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,6 +80,10 @@ pub struct LsqEntry {
     pub issued: bool,
     /// Whether the operation has completed execution.
     pub completed: bool,
+    /// The access's address-filter bucket mask
+    /// ([`MemInfo::filter_mask64`]).  Derived from `mem`, so it is not
+    /// serialized — [`LoadStoreQueue::load`] recomputes it.
+    pub mask: u64,
 }
 
 /// The issue decision for a load.
@@ -141,6 +150,12 @@ pub struct LoadStoreQueue {
     /// of stores in the queue, i.e. by `capacity` — which the constructor
     /// caps at `u16::MAX`.
     store_filter: [u16; FILTER_BUCKETS],
+    /// Bit `b` set iff `store_filter[b] > 0`.  Lets the filter answer
+    /// *may some store overlap this mask?* with a single AND against a
+    /// precomputed access mask ([`MemInfo::filter_mask64`]) instead of a
+    /// bucket-range walk.  Derived from `store_filter`, so it is not
+    /// serialized — [`LoadStoreQueue::load`] recomputes it.
+    occupied_bits: u64,
     /// Largest `now_ps` ever passed to a visibility query (debug-only
     /// monotonicity guard).
     #[cfg(debug_assertions)]
@@ -171,6 +186,7 @@ impl LoadStoreQueue {
             unready_stores: 0,
             min_unready_store_seq: u64::MAX,
             store_filter: [0; FILTER_BUCKETS],
+            occupied_bits: 0,
             #[cfg(debug_assertions)]
             watermark_ps: 0,
             occupancy_accumulator: 0,
@@ -198,34 +214,38 @@ impl LoadStoreQueue {
         self.entries.len() >= self.capacity
     }
 
-    /// The filter buckets covered by an access's byte range (inclusive).
-    fn filter_bucket_range(mem: &MemInfo) -> (u64, u64) {
-        let first = mem.addr >> FILTER_GRANULE_SHIFT;
-        let last = (mem.addr + mem.size.max(1) as u64 - 1) >> FILTER_GRANULE_SHIFT;
-        (first, last)
-    }
-
-    fn filter_add(&mut self, mem: &MemInfo) {
-        let (first, last) = Self::filter_bucket_range(mem);
-        for g in first..=last {
-            self.store_filter[(g % FILTER_BUCKETS as u64) as usize] += 1;
+    /// Adds an access's bucket mask to the counting filter.
+    fn filter_add(&mut self, mask: u64) {
+        let mut m = mask;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            self.store_filter[b] += 1;
+            m &= m - 1;
         }
+        self.occupied_bits |= mask;
     }
 
-    fn filter_remove(&mut self, mem: &MemInfo) {
-        let (first, last) = Self::filter_bucket_range(mem);
-        for g in first..=last {
-            let bucket = &mut self.store_filter[(g % FILTER_BUCKETS as u64) as usize];
-            debug_assert!(*bucket > 0, "filter underflow");
-            *bucket -= 1;
+    /// Removes an access's bucket mask from the counting filter.
+    fn filter_remove(&mut self, mask: u64) {
+        let mut m = mask;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            debug_assert!(self.store_filter[b] > 0, "filter underflow");
+            self.store_filter[b] -= 1;
+            if self.store_filter[b] == 0 {
+                self.occupied_bits &= !(1u64 << b);
+            }
+            m &= m - 1;
         }
     }
 
     /// Whether some store in the queue *may* overlap `mem` (conservative:
-    /// false positives possible, false negatives not).
+    /// false positives possible, false negatives not).  One AND against
+    /// the occupancy bitmap.  The issue path inlines this against each
+    /// entry's precomputed mask; kept for the filter unit tests.
+    #[cfg(test)]
     fn filter_may_match(&self, mem: &MemInfo) -> bool {
-        let (first, last) = Self::filter_bucket_range(mem);
-        (first..=last).any(|g| self.store_filter[(g % FILTER_BUCKETS as u64) as usize] > 0)
+        self.occupied_bits & mem.filter_mask64() != 0
     }
 
     /// Inserts a memory operation at dispatch time (program order).
@@ -241,6 +261,30 @@ impl LoadStoreQueue {
         mem: MemInfo,
         visible_at_ps: u64,
     ) -> Result<(), SeqNum> {
+        self.insert_masked(seq, is_store, mem, visible_at_ps, mem.filter_mask64())
+    }
+
+    /// Inserts a memory operation whose address-filter bucket mask has
+    /// already been computed (trace annotations precompute it once per
+    /// trace; [`LoadStoreQueue::insert`] derives it on the spot).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(seq)` if the queue is full or program order would be
+    /// violated.
+    pub fn insert_masked(
+        &mut self,
+        seq: SeqNum,
+        is_store: bool,
+        mem: MemInfo,
+        visible_at_ps: u64,
+        mask: u64,
+    ) -> Result<(), SeqNum> {
+        debug_assert_eq!(
+            mask,
+            mem.filter_mask64(),
+            "precomputed filter mask must match the access"
+        );
         if self.is_full() {
             return Err(seq);
         }
@@ -258,6 +302,7 @@ impl LoadStoreQueue {
             operands_ready: false,
             issued: false,
             completed: false,
+            mask,
         });
         self.earliest_pending_ps = self.earliest_pending_ps.min(visible_at_ps);
         if is_store {
@@ -265,7 +310,7 @@ impl LoadStoreQueue {
             // Program order: the new store is the youngest, so the minimum
             // only changes when no unready store existed.
             self.min_unready_store_seq = self.min_unready_store_seq.min(seq);
-            self.filter_add(&mem);
+            self.filter_add(mask);
         }
         Ok(())
     }
@@ -389,7 +434,7 @@ impl LoadStoreQueue {
             self.visible_len -= 1;
         }
         if e.is_store {
-            self.filter_remove(&e.mem);
+            self.filter_remove(e.mask);
             if !e.operands_ready {
                 // Unreachable in the simulator (stores only retire after
                 // completing, which requires ready operands), but keep the
@@ -464,18 +509,23 @@ impl LoadStoreQueue {
         }
         let mut q = LoadStoreQueue::new(capacity);
         for _ in 0..len {
+            let seq = r.u64()?;
+            let is_store = r.bool()?;
+            let mem = MemInfo {
+                addr: r.u64()?,
+                size: r.u8()?,
+            };
             q.entries.push(LsqEntry {
-                seq: r.u64()?,
-                is_store: r.bool()?,
-                mem: MemInfo {
-                    addr: r.u64()?,
-                    size: r.u8()?,
-                },
+                seq,
+                is_store,
+                mem,
                 visible_at_ps: r.u64()?,
                 ready_at_ps: r.u64()?,
                 operands_ready: r.bool()?,
                 issued: r.bool()?,
                 completed: r.bool()?,
+                // Derived from the access, not serialized.
+                mask: mem.filter_mask64(),
             });
         }
         q.visible_len = r.usize()?;
@@ -492,6 +542,13 @@ impl LoadStoreQueue {
         for bucket in &mut q.store_filter {
             *bucket = r.u16()?;
         }
+        // Derived occupancy bitmap, not serialized.
+        q.occupied_bits = q
+            .store_filter
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .fold(0u64, |bits, (b, _)| bits | (1u64 << b));
         q.occupancy_accumulator = r.u64()?;
         q.accumulated_cycles = r.u64()?;
         Ok(q)
@@ -570,8 +627,9 @@ impl LoadStoreQueue {
             // Some older store has an unknown address: cannot disambiguate.
             return LsqIssue::Blocked;
         }
-        if !self.filter_may_match(&load.mem) {
-            // No store in the queue overlaps the load's granules.
+        if self.occupied_bits & load.mask == 0 {
+            // No store in the queue overlaps the load's granules (the
+            // entry's mask was precomputed at insert, so this is one AND).
             return LsqIssue::AccessCache;
         }
         // Filter hit: scan the older stores (all of which have known

@@ -41,6 +41,23 @@
 //! once per control-interval command, which keeps the time-to-bucket
 //! conversion consistent between push and drain across every ramp.
 //!
+//! # Monotone lane
+//!
+//! Event-traffic profiling (`EventTrafficStats`, surfaced per run as
+//! `events_per_commit`) showed most pushes arrive in *non-decreasing*
+//! `(time, seq, kind)` order: a domain schedules completions as it issues,
+//! and issue times advance with domain time.  Each timeline therefore
+//! carries a **monotone lane** — a sorted `VecDeque` that accepts a pushed
+//! event with a single tail comparison whenever the event is not earlier
+//! than the lane's tail, bypassing the bucket ring (no division, no bucket
+//! push, no occupancy-bitmap update) and every granule re-file (the lane
+//! holds absolute times and needs no bucket math, so
+//! [`DomainTimeline::set_granule`] skips it entirely).  Out-of-order
+//! pushes fall through to the ring/overflow calendar as before.  The drain
+//! pops the lane's due prefix and merges it with the calendar batch in the
+//! single existing sort, so the drain-order invariant below is untouched.
+//! Lane absorption is counted ([`EventTrafficStats::lane_pushes`]).
+//!
 //! # Drain-order invariant
 //!
 //! One [`DomainTimeline::collect_due`] call per domain cycle drains *both*
@@ -248,6 +265,11 @@ struct Timeline {
     /// Events beyond the ring horizon, sorted descending so the earliest
     /// pops from the back.
     overflow: Vec<TimelineEvent>,
+    /// The monotone lane: events that arrived in non-decreasing
+    /// `(time, seq, kind)` order, kept sorted by construction (an event
+    /// only enters when it is `>=` the current tail).  The due prefix pops
+    /// from the front at drain time.
+    lane: std::collections::VecDeque<TimelineEvent>,
     /// Issueable instructions, seq-sorted.
     ready: ReadyList,
     /// Reference implementation: a plain min-heap over the same events.
@@ -266,6 +288,7 @@ impl Timeline {
             occupied: [0; 2],
             buckets: vec![Vec::new(); BUCKETS],
             overflow: Vec::new(),
+            lane: std::collections::VecDeque::new(),
             ready: ReadyList::default(),
             #[cfg(debug_assertions)]
             shadow: std::collections::BinaryHeap::new(),
@@ -333,6 +356,10 @@ impl Timeline {
         for ev in &self.overflow {
             ev.save(w);
         }
+        w.put_usize(self.lane.len());
+        for ev in &self.lane {
+            ev.save(w);
+        }
         w.put_usize(self.ready.seqs.len());
         for &seq in &self.ready.seqs {
             w.put_u64(seq);
@@ -367,6 +394,11 @@ impl Timeline {
             tl.overflow.push(TimelineEvent::load(r)?);
         }
         let n = r.usize()?;
+        tl.lane.reserve(n);
+        for _ in 0..n {
+            tl.lane.push_back(TimelineEvent::load(r)?);
+        }
+        let n = r.usize()?;
         tl.ready.seqs.reserve(n);
         for _ in 0..n {
             tl.ready.seqs.push(r.u64()?);
@@ -381,6 +413,9 @@ impl Timeline {
                 }
             }
             for &ev in &tl.overflow {
+                tl.shadow.push(std::cmp::Reverse(ev));
+            }
+            for &ev in &tl.lane {
                 tl.shadow.push(std::cmp::Reverse(ev));
             }
         }
@@ -457,7 +492,14 @@ impl DomainTimeline {
         let tl = &mut self.domains[di];
         #[cfg(debug_assertions)]
         tl.shadow.push(std::cmp::Reverse(ev));
-        if tl.place(ev) {
+        // Monotone fast path: an event not earlier than the lane's tail
+        // appends in O(1) with one comparison — no bucket math, and no
+        // re-file cost at granule changes.  Out-of-order events take the
+        // calendar as before.
+        if tl.lane.back().is_none_or(|&back| ev >= back) {
+            tl.lane.push_back(ev);
+            self.stats.lane_pushes += 1;
+        } else if tl.place(ev) {
             self.stats.overflow_spills += 1;
         }
     }
@@ -534,6 +576,11 @@ impl DomainTimeline {
     fn collect_due_slow(&mut self, domain: DomainId, now: TimePs, out: &mut Vec<TimelineEvent>) {
         self.stats.drains += 1;
         let tl = &mut self.domains[domain.index()];
+        // Monotone lane: sorted non-decreasing, so the due events form a
+        // prefix popping from the front.
+        while tl.lane.front().is_some_and(|ev| ev.time <= now) {
+            out.push(tl.lane.pop_front().expect("checked non-empty"));
+        }
         // Overflow: sorted descending, so due events pop from the back.
         while tl.overflow.last().is_some_and(|ev| ev.time <= now) {
             out.push(tl.overflow.pop().expect("checked non-empty"));
@@ -606,7 +653,8 @@ impl DomainTimeline {
         }
         self.stats.bucket_scans += scanned;
         let overflow_bound = tl.overflow.last().map_or(TimePs::MAX, |ev| ev.time);
-        self.next_due_ps[domain.index()] = ring_bound.min(overflow_bound);
+        let lane_bound = tl.lane.front().map_or(TimePs::MAX, |ev| ev.time);
+        self.next_due_ps[domain.index()] = ring_bound.min(overflow_bound).min(lane_bound);
         tl.last_drained_ps = now;
         if out.len() > 1 {
             out.sort_unstable();
@@ -677,6 +725,7 @@ impl DomainTimeline {
         w.put_u64(self.stats.overflow_spills);
         w.put_u64(self.stats.bucket_scans);
         w.put_u64(self.stats.drains);
+        w.put_u64(self.stats.lane_pushes);
     }
 
     /// Rebuilds the timelines from [`DomainTimeline::save`] output.
@@ -707,6 +756,7 @@ impl DomainTimeline {
             overflow_spills: r.u64()?,
             bucket_scans: r.u64()?,
             drains: r.u64()?,
+            lane_pushes: r.u64()?,
         };
         Ok(DomainTimeline {
             next_due_ps,
@@ -843,10 +893,11 @@ mod tests {
         let mut t = DomainTimeline::new(G);
         let d = DomainId::LoadStore;
         let horizon = 1_000 * BUCKETS as u64;
-        t.push_completion(d, horizon + 5_000, 1); // beyond the ring: spills
-        t.push_completion(d, horizon + 2_000, 2); // spills, earlier
-        t.push_completion(d, 500, 3); // in ring
-        assert_eq!(t.stats().overflow_spills, 2);
+        t.push_completion(d, horizon + 5_000, 1); // first push: monotone lane
+        t.push_completion(d, horizon + 2_000, 2); // out of order, beyond ring: spills
+        t.push_completion(d, 500, 3); // out of order, in ring
+        assert_eq!(t.stats().overflow_spills, 1);
+        assert_eq!(t.stats().lane_pushes, 1);
         assert_eq!(completions(&drain(&mut t, d, 600)), vec![(500, 3)]);
         // Overflow events surface in (time, seq) order once due.
         assert_eq!(
@@ -863,10 +914,11 @@ mod tests {
         let d = DomainId::Integer;
         // Drain once so the re-index anchor is a real drain time.
         assert!(drain(&mut t, d, 1_500).is_empty());
-        t.push_completion(d, 4_000, 1);
-        t.push_completion(d, 2_000, 2);
-        t.push_wakeup(d, 700_000, 3); // far future: overflow under granule 1000
-        assert_eq!(t.stats().overflow_spills, 1);
+        t.push_completion(d, 4_000, 1); // monotone lane
+        t.push_completion(d, 2_000, 2); // out of order: ring
+        t.push_wakeup(d, 700_000, 3); // monotone again: lane (no spill)
+        assert_eq!(t.stats().overflow_spills, 0);
+        assert_eq!(t.stats().lane_pushes, 2);
         // The controller slows the domain to a 4x period: all pending
         // events re-file under the new mapping (the far-future wakeup now
         // fits the wider ring).
@@ -905,7 +957,7 @@ mod tests {
         t.push_completion(d, 2_000, 4);
         t.push_wakeup(d, 2_000, 6);
         t.push_completion(d, 3_000, 2);
-        t.push_wakeup(d, 1_000 * BUCKETS as u64 + 9_000, 1); // overflow
+        t.push_wakeup(d, 1_000 * BUCKETS as u64 + 9_000, 1); // far future, in-order: lane
         t.extend_ready(d, &mut vec![3, 8]);
         t.push_completion(DomainId::LoadStore, 7_000, 9);
 
@@ -969,7 +1021,35 @@ mod tests {
         assert_eq!(s.pushes, 2);
         assert_eq!(s.pops, 2);
         assert_eq!(s.drains, 1);
-        assert!(s.bucket_scans >= 1);
+        // Both pushes arrived in order, so the lane absorbed them and the
+        // ring was never scanned.
+        assert_eq!(s.lane_pushes, 2);
+        assert_eq!(s.bucket_scans, 0);
         assert_eq!(s.overflow_spills, 0);
+    }
+
+    #[test]
+    fn out_of_order_pushes_fall_back_to_the_calendar_and_merge_with_the_lane() {
+        let mut t = DomainTimeline::new(G);
+        let d = DomainId::Integer;
+        // Ascending run lands in the lane; an earlier event then takes the
+        // ring, and a later one re-enters the lane.
+        t.push_completion(d, 2_000, 1);
+        t.push_completion(d, 2_500, 2);
+        t.push_completion(d, 1_000, 3); // out of order: ring
+        t.push_wakeup(d, 3_000, 4); // monotone again: lane
+        assert_eq!(t.stats().lane_pushes, 3);
+        // A drain merges lane and ring batches into one ordered sequence.
+        let due = drain(&mut t, d, 2_200);
+        assert_eq!(
+            due.iter().map(|e| (e.time, e.seq)).collect::<Vec<_>>(),
+            vec![(1_000, 3), (2_000, 1)]
+        );
+        // The next-due bound sees the remaining lane events.
+        assert!(drain(&mut t, d, 2_400).is_empty());
+        assert_eq!(completions(&drain(&mut t, d, 2_500)), vec![(2_500, 2)]);
+        let due = drain(&mut t, d, 3_000);
+        assert_eq!(due.len(), 1);
+        assert_eq!((due[0].seq, due[0].kind), (4, EventKind::Wakeup));
     }
 }

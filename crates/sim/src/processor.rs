@@ -162,6 +162,14 @@ pub struct McdProcessor {
 
     // Statistics.
     pub(crate) committed: u64,
+    /// Instructions dispatched through a precomputed trace-annotation
+    /// sidecar (host telemetry only — not serialized: the counters
+    /// describe *how* this process dispatched, not simulated state, and a
+    /// restored run may legitimately continue on a different stream kind).
+    pub(crate) ann_fed: u64,
+    /// Instructions dispatched via live rename-map re-derivation (host
+    /// telemetry only — not serialized, see `ann_fed`).
+    pub(crate) ann_recomputed: u64,
     pub(crate) mispredict_redirects: u64,
     pub(crate) memory_accesses: u64,
     pub(crate) interval_index: u64,
@@ -278,6 +286,8 @@ impl McdProcessor {
             scratch_ready: Vec::with_capacity(config.arch.rob_size),
             energy: EnergyAccount::new(config.energy.clone()),
             committed: 0,
+            ann_fed: 0,
+            ann_recomputed: 0,
             mispredict_redirects: 0,
             memory_accesses: 0,
             interval_index: 0,
@@ -879,6 +889,8 @@ impl McdProcessor {
         // have executed on different worker threads).
         let mut host = HostStats::from_run(self.committed, self.run_state.wall_seconds);
         host.events = self.timeline.stats();
+        host.ann_fed = self.ann_fed;
+        host.ann_recomputed = self.ann_recomputed;
 
         SimResult {
             committed_instructions: self.committed,

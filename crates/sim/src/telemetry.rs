@@ -129,6 +129,11 @@ pub struct EventTrafficStats {
     pub bucket_scans: u64,
     /// Timeline drain passes (one or more per domain cycle).
     pub drains: u64,
+    /// Pushes absorbed by the monotone lane — the per-domain sorted fast
+    /// path that accepts an event in O(1) when it is not earlier than the
+    /// lane's tail, bypassing the bucket ring entirely (and granule
+    /// re-files, since the lane needs no bucket math).
+    pub lane_pushes: u64,
 }
 
 impl EventTrafficStats {
@@ -167,6 +172,13 @@ pub struct HostStats {
     /// content-addressed result cache instead of a fresh simulation (the
     /// memoized outcome is bit-identical; only host telemetry differs).
     pub result_cache_hit: bool,
+    /// Instructions dispatched through the precomputed trace-annotation
+    /// sidecar (dependence edges and LSQ filter masks consumed instead of
+    /// re-derived).
+    pub ann_fed: u64,
+    /// Instructions dispatched the historical way — dependences re-derived
+    /// from the rename map (live-generated streams carry no sidecar).
+    pub ann_recomputed: u64,
 }
 
 impl HostStats {
@@ -191,6 +203,8 @@ impl HostStats {
             events: EventTrafficStats::default(),
             trace_bytes: 0,
             result_cache_hit: false,
+            ann_fed: 0,
+            ann_recomputed: 0,
         }
     }
 }
@@ -306,6 +320,18 @@ impl SimResult {
             0.0
         } else {
             self.chip_energy() / s
+        }
+    }
+
+    /// Timeline events pushed per committed instruction — the kernel's
+    /// event-traffic intensity.  Host telemetry (the simulated outcome is
+    /// unaffected), but the single best indicator of where event-queue
+    /// structural cuts should land.
+    pub fn events_per_commit(&self) -> f64 {
+        if self.committed_instructions == 0 {
+            0.0
+        } else {
+            self.host.events.pushes as f64 / self.committed_instructions as f64
         }
     }
 

@@ -61,6 +61,19 @@
 //! MCD_GOLDEN_GANG=512 cargo run --release --example golden_dump > gang.txt
 //! diff unsliced.txt gang.txt        # any output = ganging changed behaviour
 //! ```
+//!
+//! **Batch mode:** setting `MCD_GOLDEN_BATCH=<0|1>` (effective together
+//! with `MCD_GOLDEN_GANG`) forces the gang's stepping discipline: `1`
+//! selects the batched data-level sweep, `0` the legacy round-robin pick
+//! loop, unset the engine default.  Both dumps must be byte-identical to
+//! the default mode — the stepping discipline is a scheduling decision
+//! and may never affect a `SimResult`:
+//!
+//! ```sh
+//! MCD_GOLDEN_GANG=512 MCD_GOLDEN_BATCH=1 cargo run --release --example golden_dump > b1.txt
+//! MCD_GOLDEN_GANG=512 MCD_GOLDEN_BATCH=0 cargo run --release --example golden_dump > b0.txt
+//! diff unsliced.txt b1.txt && diff unsliced.txt b0.txt
+//! ```
 
 use mcd::clock::OperatingPointTable;
 use mcd::control::{
@@ -123,6 +136,19 @@ fn golden_gang() -> Option<u64> {
     Some(insts)
 }
 
+/// The gang stepping discipline forced by `MCD_GOLDEN_BATCH`, if any.
+/// Same abort-on-typo policy as [`golden_trace`]: a silently ignored
+/// value would make the batched-vs-round-robin CI diff compare two runs
+/// of the same discipline and certify batching vacuously.
+fn golden_batch() -> Option<bool> {
+    match std::env::var("MCD_GOLDEN_BATCH") {
+        Err(_) => None,
+        Ok(v) if v == "0" => Some(false),
+        Ok(v) if v == "1" => Some(true),
+        Ok(v) => panic!("MCD_GOLDEN_BATCH must be 0 or 1, got {v:?}"),
+    }
+}
+
 /// Either stream the golden matrix runs under, unified so the checkpoint
 /// path can serialize whichever one is live (the generator's full cursor
 /// state, or the shared-trace cursor's position).
@@ -143,6 +169,13 @@ impl InstructionStream for GoldenStream {
         match self {
             GoldenStream::Live(g) => g.remaining_hint(),
             GoldenStream::Traced(c) => c.remaining_hint(),
+        }
+    }
+
+    fn annotations(&self) -> Option<&mcd::isa::TraceAnnotations> {
+        match self {
+            GoldenStream::Live(_) => None,
+            GoldenStream::Traced(c) => c.annotations(),
         }
     }
 }
@@ -252,7 +285,10 @@ fn dump_gang(name: &str, bench: Benchmark, window_insts: u64) {
             ConfigKind::FullySynchronous,
         ),
     ];
-    let mut gang = GangRun::new(window_insts);
+    let mut gang = match golden_batch() {
+        Some(batched) => GangRun::new(window_insts).with_batched(batched),
+        None => GangRun::new(window_insts),
+    };
     let mut results: Vec<Option<Box<SimResult>>> = jobs.iter().map(|_| None).collect();
     for (slot, (_, cfg, kind)) in jobs.iter().enumerate() {
         match prepare(bench, 20_000, cfg.clone(), &|| {

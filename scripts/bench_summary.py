@@ -26,6 +26,8 @@ def load(path):
 
 def kernel_micro(doc):
     print("### Kernel throughput (`microarch_components`)\n")
+    if doc.get("nproc") is not None:
+        print(f"_host parallelism (nproc): {doc['nproc']}_\n")
     rows = [r for r in doc.get("benches", []) if r["id"].startswith("processor_run_")]
     if rows:
         print("| bench | ms/iter |")
@@ -36,13 +38,17 @@ def kernel_micro(doc):
     traffic = doc.get("event_traffic", [])
     if traffic:
         print("### Event-timeline traffic (20k-instruction runs)\n")
-        print("| workload | pushes | pops | overflow spills | bucket scans | avg scan/pass |")
-        print("|---|---|---|---|---|---|")
+        print("| workload | pushes | pops | overflow spills | bucket scans "
+              "| lane pushes | events/commit | ann fed | ann recomputed |")
+        print("|---|---|---|---|---|---|---|---|---|")
         for t in traffic:
+            epc = t.get("events_per_commit")
+            epc_cell = f"{epc:.3f}" if epc is not None else "-"
             print(
                 f"| {t['workload']} | {t['timeline_pushes']} | {t['timeline_pops']} "
                 f"| {t['overflow_spills']} | {t['bucket_scans']} "
-                f"| {t['avg_bucket_scan']:.2f} |"
+                f"| {t.get('lane_pushes', '-')} | {epc_cell} "
+                f"| {t.get('ann_fed', '-')} | {t.get('ann_recomputed', '-')} |"
             )
         print()
 

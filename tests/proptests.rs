@@ -541,6 +541,72 @@ proptest! {
         );
     }
 
+    /// Annotation-fed dispatch bit-identity: a [`SharedTrace`] carries a
+    /// precomputed annotation sidecar (last-writer dependence edges,
+    /// source counts, flags and memory filter masks), and the frontend
+    /// consumes it instead of re-deriving producers from the rename map
+    /// when the stream exposes one.  For *any* generated workload spec,
+    /// seed and sequence of pause boundaries, the annotation-fed replay
+    /// must produce a `SimResult` bit-identical to the live-generator run
+    /// that re-derives everything per dispatch — and every instruction
+    /// must actually take the annotation path, which the host-telemetry
+    /// counters (excluded from equality by design) make observable.
+    #[test]
+    fn annotation_fed_dispatch_matches_live_rename_derivation(
+        int_alu in 0.1f64..0.6,
+        load in 0.05f64..0.4,
+        store in 0.0f64..0.2,
+        branch in 0.02f64..0.3,
+        fp in 0.0f64..0.4,
+        seed in 0u64..1_000,
+        raw_slices in proptest::collection::vec((0u8..4, 0u64..45_000), 1..6),
+    ) {
+        let slices: Vec<u64> = raw_slices
+            .iter()
+            .map(|&(class, magnitude)| match class {
+                0 => 1,
+                1 => 2 + magnitude % 200,
+                2 => 5_000 + magnitude,
+                _ => 1_000_000 + magnitude,
+            })
+            .collect();
+        let mix = InstructionMix {
+            int_alu,
+            int_mul: 0.01,
+            fp_add: fp / 2.0,
+            fp_mul: fp / 2.0,
+            fp_div: 0.0,
+            load,
+            store,
+            branch,
+        };
+        let phase = Phase::new(1.0, mix)
+            .with_memory(MemoryBehavior::cache_resident())
+            .with_branches(BranchBehavior::predictable());
+        let spec = WorkloadSpec::new("ann-prop", "proptest", vec![phase], 1.0);
+        let insts = 3_000;
+        let trace = std::sync::Arc::new(SharedTrace::materialize(&spec, seed, insts));
+        // One annotation row per recorded instruction.
+        prop_assert_eq!(trace.annotations().len(), insts as usize);
+
+        let live = run_stream_with_slices(WorkloadGenerator::new(&spec, seed, insts), insts, &[]);
+        let fed = run_stream_with_slices(trace.cursor(), insts, &slices);
+        prop_assert!(
+            fed == live,
+            "annotation-fed replay with slices {:?} diverged from the live run",
+            slices
+        );
+        prop_assert_eq!(fed.committed_instructions, insts);
+        // Dispatch-path accounting: the replay fed every instruction from
+        // the sidecar, the live run re-derived every one from the rename
+        // map (each instruction dispatches exactly once — there is no
+        // wrong-path refetch).
+        prop_assert_eq!(fed.host.ann_fed, insts);
+        prop_assert_eq!(fed.host.ann_recomputed, 0);
+        prop_assert_eq!(live.host.ann_fed, 0);
+        prop_assert_eq!(live.host.ann_recomputed, insts);
+    }
+
     /// Snapshot/restore replay contract: for *any* chain of pause points
     /// — including degenerate single-step pauses, pauses mid-frequency-
     /// ramp (Attack/Decay under a short control interval), and pauses
@@ -621,13 +687,16 @@ proptest! {
     /// same run executed alone.  Gang membership, member order, window
     /// size and step granularity are scheduling decisions only — this is
     /// the invariant that lets the engine fuse a plan's same-trace grid
-    /// cells into one scheduler slot.
+    /// cells into one scheduler slot.  Both stepping disciplines are
+    /// exercised: the batched laggard-window sweep and the legacy
+    /// pick-one round-robin.
     #[test]
     fn gang_execution_is_bit_identical_to_solo_runs(
         decay_steps in proptest::collection::vec(1u32..21, 2..6),
         window_sel in 0u8..4,
         raw_budgets in proptest::collection::vec((0u8..4, 0u64..45_000), 1..6),
         seed in 0u64..1_000,
+        batch_sel in 0u8..2,
     ) {
         // Window classes: degenerate single-instruction windows, small
         // windows (many hand-offs), mid-size, and windows larger than
@@ -667,7 +736,7 @@ proptest! {
             .map(|k| runner.run(Benchmark::Gzip, k))
             .collect();
 
-        let mut gang = GangRun::new(window_insts);
+        let mut gang = GangRun::new(window_insts).with_batched(batch_sel == 1);
         for (slot, kind) in kinds.iter().enumerate() {
             gang.push(slot, Box::new(runner.begin(Benchmark::Gzip, kind)));
         }
